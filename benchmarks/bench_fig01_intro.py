@@ -1,0 +1,17 @@
+"""Fig. 1 — exact connectivity of the introductory example."""
+
+import pytest
+
+from repro.experiments import run_fig01
+
+
+def test_fig01_intro(benchmark, emit):
+    table = benchmark.pedantic(run_fig01, rounds=1, iterations=1)
+    emit("fig01_intro", table)
+    # Paper values: 0.219 (original) vs 0.216 (sparsified).
+    assert table.cell("figure1a", "Pr[connected]") == pytest.approx(0.219, abs=5e-4)
+    assert table.cell("figure1b", "Pr[connected]") == pytest.approx(0.216, abs=1e-9)
+    # Sparsification halves the edges and cuts entropy roughly in half.
+    assert table.cell("figure1b", "entropy_bits") < 0.6 * table.cell(
+        "figure1a", "entropy_bits"
+    )

@@ -1,0 +1,16 @@
+"""Fig. 5 — the accuracy/entropy trade-off of the h parameter."""
+
+from repro.experiments import run_fig05
+
+
+def test_fig05_h_tradeoff(benchmark, bench_scale, emit):
+    mae, entropy = benchmark.pedantic(
+        run_fig05, args=(bench_scale,), rounds=1, iterations=1
+    )
+    emit("fig05_h_sweep", mae, entropy)
+    last = mae.headers[-1]
+    # h = 1 minimises degree error; h = 0 minimises entropy (Fig. 5 a/b).
+    assert mae.cell(1.0, last) <= mae.cell(0.0, last) + 1e-12
+    assert entropy.cell(0.0, last) <= entropy.cell(1.0, last) + 1e-12
+    # Entropy ratio is monotone-ish in h at the largest alpha.
+    assert entropy.cell(0.01, last) <= entropy.cell(1.0, last) + 1e-9

@@ -1,0 +1,28 @@
+"""Fig. 6 — degree/cut preservation vs NI and SP on both proxies."""
+
+from repro.experiments import run_fig06
+from repro.experiments.common import REPRESENTATIVE_EMD, REPRESENTATIVE_GDB
+
+
+def test_fig06_structural_comparison(benchmark, bench_scale, emit):
+    results = benchmark.pedantic(
+        run_fig06, args=(bench_scale,), rounds=1, iterations=1
+    )
+    for dataset, (degree, cuts) in results.items():
+        emit(f"fig06_{dataset}", degree, cuts)
+
+    for dataset, (degree, cuts) in results.items():
+        for alpha_col in degree.headers[2:]:  # 16% and above
+            proposed_degree = min(
+                degree.cell(REPRESENTATIVE_GDB, alpha_col),
+                degree.cell(REPRESENTATIVE_EMD, alpha_col),
+            )
+            # Proposed methods beat both benchmarks on degrees (paper:
+            # usually by orders of magnitude).
+            assert proposed_degree < degree.cell("NI", alpha_col)
+            assert proposed_degree < degree.cell("SP", alpha_col)
+            proposed_cuts = min(
+                cuts.cell(REPRESENTATIVE_GDB, alpha_col),
+                cuts.cell(REPRESENTATIVE_EMD, alpha_col),
+            )
+            assert proposed_cuts < cuts.cell("SP", alpha_col)

@@ -1,0 +1,19 @@
+"""Fig. 7 — structural error growth with graph density."""
+
+from repro.experiments import run_fig07
+from repro.experiments.common import REPRESENTATIVE_EMD
+
+
+def test_fig07_density_sweep(benchmark, bench_scale, emit):
+    degree, cuts = benchmark.pedantic(
+        run_fig07, args=(bench_scale,), rounds=1, iterations=1
+    )
+    emit("fig07_density", degree, cuts)
+
+    first, last = degree.headers[1], degree.headers[-1]
+    # Error grows with density for the non-redistributing SP baseline
+    # (the paper's linear-in-|E| analysis).
+    assert degree.cell("SP", last) > degree.cell("SP", first)
+    # EMD stays far below SP at the densest setting.
+    assert degree.cell(REPRESENTATIVE_EMD, last) < degree.cell("SP", last)
+    assert cuts.cell(REPRESENTATIVE_EMD, last) < cuts.cell("SP", last)

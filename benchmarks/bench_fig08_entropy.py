@@ -1,0 +1,27 @@
+"""Fig. 8 — relative entropy of sparsified graphs."""
+
+from repro.experiments import run_fig08
+from repro.experiments.common import REPRESENTATIVE_EMD, REPRESENTATIVE_GDB
+
+
+def test_fig08_relative_entropy(benchmark, bench_scale, emit):
+    results = benchmark.pedantic(
+        run_fig08, args=(bench_scale,), rounds=1, iterations=1
+    )
+    emit("fig08_entropy", *results.values())
+
+    for dataset in ("flickr", "twitter"):
+        table = results[dataset]
+        first, last = table.headers[1], table.headers[-1]
+        for method in table.column("method"):
+            # Relative entropy < 1 everywhere and increasing with alpha.
+            assert 0.0 <= table.cell(method, last) < 1.0
+            assert table.cell(method, first) <= table.cell(method, last) + 1e-9
+        # Proposed methods reduce entropy far below the benchmarks at
+        # small alpha (paper: at least an order of magnitude).
+        proposed = min(
+            results[dataset].cell(REPRESENTATIVE_GDB, first),
+            results[dataset].cell(REPRESENTATIVE_EMD, first),
+        )
+        assert proposed < table.cell("NI", first)
+        assert proposed < table.cell("SP", first)

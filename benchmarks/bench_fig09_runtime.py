@@ -1,0 +1,17 @@
+"""Fig. 9 — sparsification wall-clock time."""
+
+from repro.experiments import run_fig09
+from repro.experiments.common import REPRESENTATIVE_GDB
+
+
+def test_fig09_runtime(benchmark, bench_scale, emit):
+    results = benchmark.pedantic(
+        run_fig09, args=(bench_scale,), rounds=1, iterations=1
+    )
+    emit("fig09_runtime", *results.values())
+
+    for table in results.values():
+        last = table.headers[-1]
+        # NI's iterated forest peeling is the slowest method (paper:
+        # more than an order of magnitude slower than GDB).
+        assert table.cell("NI", last) > table.cell(REPRESENTATIVE_GDB, last)

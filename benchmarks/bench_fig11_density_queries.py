@@ -1,0 +1,26 @@
+"""Fig. 11 — query quality versus density (synthetic sweep)."""
+
+import numpy as np
+
+from repro.experiments import run_fig11
+from repro.experiments.common import REPRESENTATIVE_EMD
+
+
+def test_fig11_density_queries(benchmark, bench_scale, emit):
+    tables = benchmark.pedantic(
+        run_fig11, args=(bench_scale,), rounds=1, iterations=1
+    )
+    emit("fig11_density_queries", *tables.values())
+
+    sp = tables["SP"]
+    first, last = sp.headers[1], sp.headers[-1]
+    # Paper: SP error decreases with density (alternative short paths).
+    for method in sp.column("method"):
+        assert sp.cell(method, last) <= sp.cell(method, first) + 0.5
+
+    pr = tables["PR"]
+    # EMD stays competitive with the benchmarks on PR across densities.
+    emd_mean = np.mean([pr.cell(REPRESENTATIVE_EMD, c) for c in pr.headers[1:]])
+    ni_mean = np.mean([pr.cell("NI", c) for c in pr.headers[1:]])
+    sp_mean = np.mean([pr.cell("SP", c) for c in pr.headers[1:]])
+    assert emd_mean <= max(ni_mean, sp_mean)

@@ -1,0 +1,33 @@
+"""Fig. 12 — relative variance of the MC estimator."""
+
+import numpy as np
+
+from repro.experiments import run_fig12
+from repro.experiments.common import REPRESENTATIVE_EMD, REPRESENTATIVE_GDB
+
+
+def test_fig12_relative_variance(benchmark, bench_scale, emit):
+    # Two alphas keep the repeated-runs protocol affordable at bench scale.
+    results = benchmark.pedantic(
+        run_fig12,
+        args=(bench_scale,),
+        kwargs={"alphas": (0.08, 0.32)},
+        rounds=1,
+        iterations=1,
+    )
+    for dataset, tables in results.items():
+        emit(f"fig12_{dataset}", *tables.values())
+
+    # Paper shape: GDB/EMD cut the variance of the original estimator
+    # (ratios well below 1) on the clear majority of query/alpha cells.
+    small_cells = 0
+    total_cells = 0
+    for tables in results.values():
+        for table in tables.values():
+            for column in table.headers[1:]:
+                for method in (REPRESENTATIVE_GDB, REPRESENTATIVE_EMD):
+                    value = table.cell(method, column)
+                    total_cells += 1
+                    if np.isfinite(value) and value < 1.0:
+                        small_cells += 1
+    assert small_cells >= 0.7 * total_cells

@@ -1,0 +1,15 @@
+"""Extension: measured sample budget N' vs N (the paper's 6.3 payoff)."""
+
+from repro.experiments.common import REPRESENTATIVE_EMD, REPRESENTATIVE_GDB
+from repro.experiments.sample_budget import run_sample_budget
+
+
+def test_sample_budget(benchmark, bench_scale, emit):
+    table = benchmark.pedantic(
+        run_sample_budget, args=(bench_scale,), rounds=1, iterations=1
+    )
+    emit("sample_budget", table)
+    # The proposed methods reach the target confidence width with at
+    # most as many samples as the original graph.
+    for method in (REPRESENTATIVE_GDB, REPRESENTATIVE_EMD):
+        assert table.cell(method, "vs_original") <= 1.0

@@ -1,0 +1,24 @@
+"""Table 2 — degree-discrepancy MAE of every proposed variant."""
+
+from repro.experiments import run_table2
+
+
+def test_table2_variant_sweep(benchmark, bench_scale, emit):
+    table = benchmark.pedantic(
+        run_table2, args=(bench_scale,), rounds=1, iterations=1
+    )
+    emit("table2_variants", table)
+
+    last = table.headers[-1]
+    mid = table.headers[2]  # 16% column
+
+    # Paper shape 1: GDB^A_n is by far the worst at alpha above E[p].
+    others = [v for v in table.column("variant") if v != "GDB^A_n"]
+    assert all(
+        table.cell("GDB^A_n", last) > table.cell(v, last) for v in others
+    )
+    # Paper shape 2: BGI (-t) backbones help at moderate alpha.
+    assert table.cell("GDB^A-t", mid) <= table.cell("GDB^A", mid)
+    # Paper shape 3: the best overall variant family is EMD/-t or LP-t;
+    # every proposed method's error collapses by 64%.
+    assert all(table.cell(v, last) < 0.05 for v in others)

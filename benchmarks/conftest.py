@@ -1,0 +1,46 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one paper table/figure at the ``tiny``
+experiment scale (see ``repro.experiments.common``), times it via
+pytest-benchmark, prints the resulting rows, and archives them under
+``benchmarks/results/`` so the series survive pytest's stdout capture.
+Scale up by editing ``BENCH_SCALE`` or by running the experiment modules
+directly (``python -m repro.experiments.fig10``).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import TINY
+from repro.experiments.common import ExperimentScale, ResultTable
+
+#: Scale used by every benchmark; override with REPRO_BENCH_SCALE=small.
+BENCH_SCALE: ExperimentScale = TINY
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    from repro.experiments import SCALES
+
+    name = os.environ.get("REPRO_BENCH_SCALE", "tiny")
+    return SCALES.get(name, BENCH_SCALE)
+
+
+@pytest.fixture
+def emit():
+    """Print tables and archive them to benchmarks/results/<name>.txt."""
+
+    def _emit(name: str, *tables: ResultTable) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = "\n\n".join(t.format() for t in tables)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print()
+        print(text)
+
+    return _emit

@@ -1,0 +1,73 @@
+"""Scenario: path queries on an uncertain protein-interaction network.
+
+In biological databases, edges between proteins carry confidence scores
+from noisy experiments (the paper's PPI motivation).  A common task is
+estimating the expected interaction-path length between protein pairs
+and the probability they interact at all (reliability).  Exact
+computation is #P-hard; this example compares plain Monte-Carlo, the
+stratified estimator of [23], and Monte-Carlo on a sparsified network —
+three routes to the same answers with different cost profiles.
+
+Run:  python examples/protein_interaction_paths.py
+"""
+
+from repro import datasets, sparsify
+from repro.queries import ReliabilityQuery, ShortestPathQuery, sample_vertex_pairs
+from repro.sampling import (
+    MonteCarloEstimator,
+    StratifiedEstimator,
+    exact_reliability,
+)
+
+
+def main() -> None:
+    # Small PPI-like network: sparse, moderate confidence scores.
+    network = datasets.erdos_renyi_uncertain(
+        n=120, avg_degree=24, p_mean=0.35, rng=13, name="ppi",
+    )
+    print(f"interaction network: {network}")
+
+    pairs = sample_vertex_pairs(network, 20, rng=1)
+    reliability = ReliabilityQuery(pairs)
+    distance = ShortestPathQuery(pairs)
+
+    # 1. Plain Monte-Carlo on the full network.
+    mc = MonteCarloEstimator(network, n_samples=400)
+    rl_full = mc.run(reliability, rng=2).scalar_estimate()
+    sp_full = mc.run(distance, rng=2).scalar_estimate()
+
+    # 2. Stratified sampling (conditions the 4 highest-entropy edges).
+    stratified = StratifiedEstimator(network, n_samples=400, r=4)
+    rl_stratified = stratified.run(reliability, rng=3)
+
+    # 3. Monte-Carlo on a 40% sparsified network.
+    sparse = sparsify(network, alpha=0.4, variant="EMD^R-t", rng=5)
+    mc_sparse = MonteCarloEstimator(sparse, n_samples=400)
+    rl_sparse = mc_sparse.run(reliability, rng=2).scalar_estimate()
+    sp_sparse = mc_sparse.run(distance, rng=2).scalar_estimate()
+
+    print(f"\nmean pairwise reliability ({len(pairs)} pairs):")
+    print(f"  plain MC:           {rl_full:.4f}")
+    print(f"  stratified MC:      {rl_stratified:.4f}")
+    print(f"  MC on sparsified:   {rl_sparse:.4f}")
+
+    print(f"\nmean interaction-path length (connected worlds only):")
+    print(f"  plain MC:           {sp_full:.4f}")
+    print(f"  MC on sparsified:   {sp_sparse:.4f}")
+
+    # Cross-check one pair against the exact value on a tiny subnetwork.
+    tiny = datasets.erdos_renyi_uncertain(
+        n=8, avg_degree=4, p_mean=0.4, rng=17, name="tiny-ppi",
+    )
+    u, v = tiny.vertices()[0], tiny.vertices()[-1]
+    exact = exact_reliability(tiny, u, v)
+    mc_tiny = MonteCarloEstimator(tiny, n_samples=3000).run(
+        ReliabilityQuery([(0, tiny.number_of_vertices() - 1)]), rng=6
+    ).scalar_estimate()
+    print(f"\nvalidation on 8-protein subnetwork:")
+    print(f"  exact reliability:  {exact:.4f}")
+    print(f"  Monte-Carlo:        {mc_tiny:.4f}")
+
+
+if __name__ == "__main__":
+    main()

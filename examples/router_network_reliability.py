@@ -1,0 +1,59 @@
+"""Scenario: communication-network reliability (paper's intro use case).
+
+A mesh router network where each link has a failure probability.
+Operators want fast what-if reliability estimates ("can rack A still
+reach rack B?"), but Monte-Carlo on the full topology is expensive.
+Sparsifying the uncertain topology keeps reliability answers accurate
+while sampling fewer links per simulated world — and, because the
+sparsified graph has lower entropy, each estimate is *more stable*
+(fewer samples needed for the same confidence width).
+
+Run:  python examples/router_network_reliability.py
+"""
+
+import numpy as np
+
+from repro import datasets, sparsify
+from repro.metrics import relative_entropy
+from repro.queries import ReliabilityQuery
+from repro.sampling import MonteCarloEstimator, repeated_estimates, unbiased_variance
+
+
+def main() -> None:
+    # 12x12 mesh, link reliability ~0.85 (drawn per link).
+    network = datasets.grid_uncertain(12, 12, p_mean=0.85, rng=3)
+    print(f"router mesh: {network}")
+
+    # Corner-to-corner and edge-to-edge reachability pairs.
+    n = network.number_of_vertices()
+    pairs = [(0, n - 1), (11, n - 12), (0, n - 12), (5, n - 6)]
+    query = ReliabilityQuery(pairs)
+
+    sparse = sparsify(network, alpha=0.6, variant="GDB^A-t", rng=3)
+    print(f"sparsified:  {sparse} "
+          f"(entropy ratio {relative_entropy(sparse, network):.3f})")
+
+    print("\npair reliabilities (500-world Monte-Carlo):")
+    original = MonteCarloEstimator(network, n_samples=500).run(query, rng=1)
+    reduced = MonteCarloEstimator(sparse, n_samples=500).run(query, rng=1)
+    for pair, a, b in zip(pairs, original.unit_estimates(), reduced.unit_estimates()):
+        print(f"  {pair}: original {a:.3f}  sparsified {b:.3f}  "
+              f"error {abs(a - b):.3f}")
+
+    # Variance protocol: how stable is each estimator across reruns?
+    var_original = unbiased_variance(
+        repeated_estimates(network, query, runs=20, n_samples=100, rng=5)
+    )
+    var_sparse = unbiased_variance(
+        repeated_estimates(sparse, query, runs=20, n_samples=100, rng=5)
+    )
+    print(f"\nestimator variance:  original {var_original:.2e}  "
+          f"sparsified {var_sparse:.2e}")
+    if var_original > 0:
+        ratio = var_sparse / var_original
+        print(f"relative variance:   {ratio:.3f} "
+              f"(same accuracy with ~{max(ratio, 1e-6):.0%} of the samples)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Scenario: influence analysis on an uncertain social network.
+
+Edge probabilities model influence between users (the paper's Twitter
+dataset).  Analysts rank users by expected pagerank and study community
+structure via clustering coefficients — both Monte-Carlo aggregates.
+This example shows that the top-10 influence ranking computed on a 25%
+sparsified graph matches the full graph's ranking almost exactly, while
+each sampled world is 4x smaller.
+
+Run:  python examples/social_network_analysis.py
+"""
+
+import numpy as np
+
+from repro import datasets, sparsify
+from repro.metrics import mean_earth_movers_distance
+from repro.queries import ClusteringCoefficientQuery, PageRankQuery
+from repro.sampling import MonteCarloEstimator
+
+
+def top_k(values: np.ndarray, k: int) -> list[int]:
+    return [int(i) for i in np.argsort(-values)[:k]]
+
+
+def main() -> None:
+    graph = datasets.flickr_like(n=400, avg_degree=30, seed=11)
+    print(f"social graph: {graph}")
+
+    sparse = sparsify(graph, alpha=0.25, variant="EMD^R-t", rng=11)
+    print(f"sparsified:   {sparse}")
+
+    n = graph.number_of_vertices()
+    pagerank = PageRankQuery(n)
+    clustering = ClusteringCoefficientQuery(n)
+
+    original = MonteCarloEstimator(graph, n_samples=150)
+    reduced = MonteCarloEstimator(sparse, n_samples=150)
+
+    pr_full = original.run(pagerank, rng=1)
+    pr_sparse = reduced.run(pagerank, rng=2)
+
+    full_rank = top_k(pr_full.unit_estimates(), 10)
+    sparse_rank = top_k(pr_sparse.unit_estimates(), 10)
+    overlap = len(set(full_rank) & set(sparse_rank))
+    print(f"\ntop-10 influencers (expected pagerank):")
+    print(f"  full graph:  {full_rank}")
+    print(f"  sparsified:  {sparse_rank}")
+    print(f"  overlap:     {overlap}/10")
+
+    d_em = mean_earth_movers_distance(pr_full.outcomes, pr_sparse.outcomes)
+    print(f"  D_em(PR):    {d_em:.2e}  (per-vertex distribution distance)")
+
+    cc_full = original.run(clustering, rng=3).unit_estimates().mean()
+    cc_sparse = reduced.run(clustering, rng=4).unit_estimates().mean()
+    print(f"\nmean expected clustering coefficient:")
+    print(f"  full graph:  {cc_full:.4f}")
+    print(f"  sparsified:  {cc_sparse:.4f}")
+
+
+if __name__ == "__main__":
+    main()

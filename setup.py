@@ -1,0 +1,8 @@
+"""Legacy setup shim: enables `python setup.py develop` on offline
+machines without the `wheel` package (PEP 660 editable installs need it).
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""Deterministic representative instances (related work [29, 30]).
+
+Parchas et al.'s earlier line of work extracts a single *deterministic*
+graph approximating the expected vertex degrees of the uncertain graph.
+The paper's section 2.3 frames this as "zero-entropy sparsification" and
+points out its limits: no control over the edge budget, and no ability
+to answer inherently probabilistic queries.  We include a greedy
+expected-degree-rounding extractor so the experiments can demonstrate
+both observations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.uncertain_graph import UncertainGraph
+
+
+def representative_instance(
+    graph: UncertainGraph,
+    name: str = "",
+) -> UncertainGraph:
+    """Greedy expected-degree representative (in the spirit of ADR [29]).
+
+    Edges are processed in descending probability; an edge is accepted
+    when it strictly reduces the squared expected-degree error
+    ``sum_u (d_G(u) - deg(u))^2`` of the partial instance.  The result
+    is deterministic: every kept edge has probability 1.
+
+    Returns
+    -------
+    UncertainGraph
+        A zero-entropy graph on the full vertex set.
+    """
+    indexer = graph.vertex_indexer()
+    target = graph.expected_degree_array()
+    current = np.zeros_like(target)
+    edges: list[tuple] = []
+    order = sorted(graph.edges(), key=lambda e: -e[2])
+    for u, v, p in order:
+        iu, iv = indexer[u], indexer[v]
+        # Accepting the edge moves both endpoint degrees up by 1; the
+        # squared error improves iff the residual demand is large enough.
+        gain = 0.0
+        for idx in (iu, iv):
+            residual = target[idx] - current[idx]
+            gain += residual * residual - (residual - 1.0) ** 2
+        if gain > 0.0:
+            edges.append((u, v, 1.0))
+            current[iu] += 1.0
+            current[iv] += 1.0
+    label = name or f"representative({graph.name})"
+    return graph.subgraph_with_edges(edges, name=label)

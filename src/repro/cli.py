@@ -1,0 +1,256 @@
+"""Command-line interface: sparsify edge-list files and inspect graphs.
+
+Examples
+--------
+Sparsify a graph file to 30% of its edges with the paper's best variant::
+
+    repro-sparsify sparsify graph.txt out.txt --alpha 0.3 --variant EMD^R-t
+
+Print structural statistics of a graph (entropy, degrees, density)::
+
+    repro-sparsify info graph.txt
+
+Compare a sparsified graph against its original::
+
+    repro-sparsify compare graph.txt out.txt --cut-samples 30
+
+Generate a synthetic uncertain graph / estimate a query by Monte-Carlo::
+
+    repro-sparsify generate flickr graph.txt --n 500 --seed 7
+    repro-sparsify estimate graph.txt --query reliability --samples 500
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import available_variants, graph_entropy, sparsify
+from repro.datasets import read_edge_list, write_edge_list
+from repro.exceptions import ReproError
+from repro.metrics import (
+    degree_discrepancy_mae,
+    relative_entropy,
+    sampled_cut_discrepancy_mae,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sparsify",
+        description="Uncertain graph sparsification (Parchas et al.)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sparsify_cmd = sub.add_parser("sparsify", help="sparsify an edge-list file")
+    sparsify_cmd.add_argument("input", help="input edge list (u v p per line)")
+    sparsify_cmd.add_argument("output", help="output edge list path")
+    sparsify_cmd.add_argument(
+        "--alpha", type=float, required=True,
+        help="sparsification ratio in (0, 1)",
+    )
+    sparsify_cmd.add_argument(
+        "--variant", default="EMD^R-t",
+        help=f"one of {', '.join(available_variants())} (default: EMD^R-t)",
+    )
+    sparsify_cmd.add_argument("--seed", type=int, default=None, help="RNG seed")
+    sparsify_cmd.add_argument(
+        "--h", type=float, default=0.05, dest="entropy_h",
+        help="entropy parameter h in [0, 1] (default 0.05)",
+    )
+
+    info_cmd = sub.add_parser("info", help="print graph statistics")
+    info_cmd.add_argument("input", help="edge list path")
+
+    compare_cmd = sub.add_parser(
+        "compare", help="structural comparison of two graphs"
+    )
+    compare_cmd.add_argument("original", help="original edge list")
+    compare_cmd.add_argument("sparsified", help="sparsified edge list")
+    compare_cmd.add_argument(
+        "--cut-samples", type=int, default=30,
+        help="sampled cuts per cardinality (default 30)",
+    )
+    compare_cmd.add_argument("--seed", type=int, default=0, help="RNG seed")
+
+    variants_cmd = sub.add_parser("variants", help="list variant strings")
+    del variants_cmd
+
+    generate_cmd = sub.add_parser(
+        "generate", help="write a synthetic uncertain graph"
+    )
+    generate_cmd.add_argument(
+        "family", choices=["flickr", "twitter", "grid", "er"],
+        help="generator family (see repro.datasets)",
+    )
+    generate_cmd.add_argument("output", help="output edge-list path")
+    generate_cmd.add_argument("--n", type=int, default=300, help="vertex count")
+    generate_cmd.add_argument(
+        "--avg-degree", type=int, default=None,
+        help="average degree (family default when omitted)",
+    )
+    generate_cmd.add_argument("--seed", type=int, default=None, help="RNG seed")
+
+    estimate_cmd = sub.add_parser(
+        "estimate", help="Monte-Carlo estimate of a query on a graph file"
+    )
+    estimate_cmd.add_argument("input", help="edge-list path")
+    estimate_cmd.add_argument(
+        "--query", choices=["reliability", "distance", "pagerank",
+                            "clustering", "connectivity"],
+        default="reliability",
+    )
+    estimate_cmd.add_argument(
+        "--samples", type=int, default=300, help="number of sampled worlds"
+    )
+    estimate_cmd.add_argument(
+        "--pairs", type=int, default=50,
+        help="random vertex pairs for reliability/distance",
+    )
+    estimate_cmd.add_argument("--seed", type=int, default=0, help="RNG seed")
+
+    diagnose_cmd = sub.add_parser(
+        "diagnose", help="sparsification diagnostics for a (G, G') pair"
+    )
+    diagnose_cmd.add_argument("original", help="original edge list")
+    diagnose_cmd.add_argument("sparsified", help="sparsified edge list")
+    return parser
+
+
+def _cmd_sparsify(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.input)
+    sparsified = sparsify(
+        graph, args.alpha, variant=args.variant, rng=args.seed, h=args.entropy_h
+    )
+    write_edge_list(sparsified, args.output)
+    print(
+        f"{args.input}: |V|={graph.number_of_vertices()} "
+        f"|E|={graph.number_of_edges()} -> {args.output}: "
+        f"|E'|={sparsified.number_of_edges()} "
+        f"(H ratio {relative_entropy(sparsified, graph):.4f})"
+    )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.input)
+    degrees = graph.expected_degrees()
+    mean_degree = sum(degrees.values()) / max(len(degrees), 1)
+    print(f"vertices:         {graph.number_of_vertices()}")
+    print(f"edges:            {graph.number_of_edges()}")
+    print(f"density:          {graph.density():.6f}")
+    print(f"connected:        {graph.is_connected()}")
+    print(f"expected |E|:     {graph.expected_number_of_edges():.3f}")
+    print(f"mean E[degree]:   {mean_degree:.4f}")
+    print(f"entropy (bits):   {graph_entropy(graph):.4f}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    original = read_edge_list(args.original)
+    sparsified = read_edge_list(args.sparsified)
+    print(f"edge ratio:         "
+          f"{sparsified.number_of_edges() / max(original.number_of_edges(), 1):.4f}")
+    print(f"degree MAE (abs):   "
+          f"{degree_discrepancy_mae(original, sparsified):.6g}")
+    print(f"degree MAE (rel):   "
+          f"{degree_discrepancy_mae(original, sparsified, relative=True):.6g}")
+    print(f"cut MAE (sampled):  "
+          f"{sampled_cut_discrepancy_mae(original, sparsified, samples_per_k=args.cut_samples, rng=args.seed):.6g}")
+    print(f"relative entropy:   {relative_entropy(sparsified, original):.6g}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro import datasets
+
+    if args.family == "flickr":
+        graph = datasets.flickr_like(
+            n=args.n, avg_degree=args.avg_degree or 24, seed=args.seed
+        )
+    elif args.family == "twitter":
+        graph = datasets.twitter_like(
+            n=args.n, avg_degree=args.avg_degree or 8, seed=args.seed
+        )
+    elif args.family == "grid":
+        side = max(int(args.n ** 0.5), 2)
+        graph = datasets.grid_uncertain(side, side, rng=args.seed)
+    else:  # er
+        graph = datasets.erdos_renyi_uncertain(
+            args.n, avg_degree=args.avg_degree or 12, rng=args.seed
+        )
+    write_edge_list(graph, args.output)
+    print(f"wrote {graph.number_of_vertices()} vertices / "
+          f"{graph.number_of_edges()} edges to {args.output}")
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    from repro.queries import (
+        ClusteringCoefficientQuery,
+        ConnectivityQuery,
+        PageRankQuery,
+        ReliabilityQuery,
+        ShortestPathQuery,
+        sample_vertex_pairs,
+    )
+    from repro.sampling import MonteCarloEstimator
+
+    graph = read_edge_list(args.input)
+    n = graph.number_of_vertices()
+    if args.query in ("reliability", "distance"):
+        pairs = sample_vertex_pairs(graph, args.pairs, rng=args.seed)
+        query = (
+            ReliabilityQuery(pairs) if args.query == "reliability"
+            else ShortestPathQuery(pairs)
+        )
+    elif args.query == "pagerank":
+        query = PageRankQuery(n)
+    elif args.query == "clustering":
+        query = ClusteringCoefficientQuery(n)
+    else:
+        query = ConnectivityQuery()
+    estimator = MonteCarloEstimator(graph, n_samples=args.samples)
+    result = estimator.run(query, rng=args.seed)
+    print(f"query:            {args.query}")
+    print(f"worlds sampled:   {args.samples}")
+    print(f"scalar estimate:  {result.scalar_estimate():.6f}")
+    print(f"95% CI width:     {result.confidence_width():.6f}")
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "sparsify":
+            return _cmd_sparsify(args)
+        if args.command == "info":
+            return _cmd_info(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        if args.command == "variants":
+            for variant in available_variants():
+                print(variant)
+            return 0
+        if args.command == "generate":
+            return _cmd_generate(args)
+        if args.command == "estimate":
+            return _cmd_estimate(args)
+        if args.command == "diagnose":
+            from repro.core.diagnostics import analyze_sparsification
+
+            report = analyze_sparsification(
+                read_edge_list(args.original), read_edge_list(args.sparsified)
+            )
+            print(report.format())
+            return 0
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

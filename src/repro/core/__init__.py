@@ -1,0 +1,73 @@
+"""Core contribution: uncertain graphs and the paper's sparsifiers.
+
+Public surface:
+
+- :class:`~repro.core.uncertain_graph.UncertainGraph` — the data model,
+- :func:`~repro.core.sparsify.sparsify` — one-call variant dispatch,
+- :func:`~repro.core.gdb.gdb` / :func:`~repro.core.emd_sparsifier.emd` /
+  :func:`~repro.core.lp.lp_sparsify` — the individual algorithms,
+- :func:`~repro.core.backbone.bgi_backbone` — Algorithm 1,
+- entropy / discrepancy helpers.
+"""
+
+from repro.core.backbone import (
+    bgi_backbone,
+    build_backbone,
+    local_degree_backbone,
+    maximum_spanning_forest,
+    random_backbone,
+    target_edge_count,
+)
+from repro.core.diagnostics import SparsificationReport, analyze_sparsification
+from repro.core.discrepancy import (
+    SparsificationState,
+    cut_discrepancy,
+    d1_objective,
+    degree_discrepancy_vector,
+    delta_1,
+)
+from repro.core.emd_sparsifier import EMDConfig, emd
+from repro.core.entropy import edge_entropy, entropy_array, graph_entropy, relative_entropy
+from repro.core.gdb import GDBConfig, gdb, gdb_refine
+from repro.core.lp import lp_assign_probabilities, lp_sparsify
+from repro.core.sparsify import (
+    VariantSpec,
+    available_variants,
+    check_budget,
+    parse_variant,
+    sparsify,
+)
+from repro.core.uncertain_graph import UncertainGraph
+
+__all__ = [
+    "EMDConfig",
+    "SparsificationReport",
+    "analyze_sparsification",
+    "GDBConfig",
+    "SparsificationState",
+    "UncertainGraph",
+    "VariantSpec",
+    "available_variants",
+    "bgi_backbone",
+    "build_backbone",
+    "check_budget",
+    "cut_discrepancy",
+    "d1_objective",
+    "degree_discrepancy_vector",
+    "delta_1",
+    "edge_entropy",
+    "emd",
+    "entropy_array",
+    "gdb",
+    "gdb_refine",
+    "graph_entropy",
+    "local_degree_backbone",
+    "lp_assign_probabilities",
+    "lp_sparsify",
+    "maximum_spanning_forest",
+    "parse_variant",
+    "random_backbone",
+    "relative_entropy",
+    "sparsify",
+    "target_edge_count",
+]

@@ -1,0 +1,269 @@
+"""Backbone graph initialisation (paper Algorithm 1 and section 3.3).
+
+Every proposed sparsifier starts from an unweighted *backbone* with
+``alpha |E|`` edges.  Two constructions are offered:
+
+- **BGI** (Algorithm 1): peel maximum spanning forests off ``G`` (edge
+  probabilities act as weights) until a spanning budget ``alpha'`` is
+  filled — this guarantees connectivity — then top up to ``alpha |E|``
+  by Monte-Carlo sampling the remaining edges with their probabilities.
+  The paper sets ``alpha'`` to the minimum of ``0.5 alpha`` and the mass
+  of the first six forests; both knobs are exposed.
+- **random backbone**: plain Monte-Carlo sampling of edges until the
+  budget is reached (the ``-t``-less variants of section 6.1, also the
+  Local Degree-style heuristic of [24] is provided for ablations).
+
+All functions work on *edge ids* — positions in
+``graph.edge_list()`` — so they compose directly with
+:class:`repro.core.discrepancy.SparsificationState`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.uncertain_graph import UncertainGraph
+from repro.exceptions import SparsificationError
+from repro.utils.rng import ensure_rng
+from repro.utils.unionfind import UnionFind
+
+
+def target_edge_count(m: int, alpha: float) -> int:
+    """Edge budget ``|E'| = alpha |E|`` (rounded, at least 1)."""
+    if not (0.0 < alpha < 1.0):
+        raise ValueError(f"sparsification ratio alpha must be in (0, 1), got {alpha}")
+    if m <= 0:
+        raise SparsificationError("cannot sparsify a graph with no edges")
+    return max(1, int(round(alpha * m)))
+
+
+def maximum_spanning_forest(
+    n: int,
+    candidate_ids: np.ndarray,
+    edge_vertices: np.ndarray,
+    probabilities: np.ndarray,
+) -> list[int]:
+    """Kruskal maximum spanning forest over a subset of edges.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices (dense ids ``0..n-1``).
+    candidate_ids:
+        Edge ids eligible for the forest.
+    edge_vertices:
+        ``(m, 2)`` array of endpoints for *all* edges (indexed by id).
+    probabilities:
+        Weight of every edge (indexed by id); higher is kept first.
+
+    Returns
+    -------
+    list[int]
+        Ids of the forest edges (maximal: one tree per connected
+        component of the candidate subgraph).
+    """
+    order = np.argsort(-probabilities[candidate_ids], kind="stable")
+    uf = UnionFind(n)
+    forest: list[int] = []
+    for idx in order:
+        eid = int(candidate_ids[idx])
+        u, v = edge_vertices[eid]
+        if uf.union(int(u), int(v)):
+            forest.append(eid)
+    return forest
+
+
+def _mc_top_up(
+    chosen: list[int],
+    remaining: set[int],
+    probabilities: np.ndarray,
+    target: int,
+    rng: np.random.Generator,
+    max_passes: int = 10_000,
+) -> None:
+    """Fill ``chosen`` up to ``target`` by sampling ``remaining`` edges.
+
+    Repeated passes over a random permutation, keeping each edge with
+    its probability (Algorithm 1, lines 7-11).  Because every
+    probability is strictly positive the loop terminates with
+    probability 1; a deterministic fallback guards against pathological
+    RNG streaks.
+    """
+    passes = 0
+    while len(chosen) < target and remaining:
+        passes += 1
+        if passes > max_passes:
+            # Deterministic fallback: take the highest-probability leftovers.
+            leftovers = sorted(remaining, key=lambda e: -probabilities[e])
+            for eid in leftovers[: target - len(chosen)]:
+                chosen.append(eid)
+                remaining.discard(eid)
+            return
+        order = rng.permutation(np.fromiter(remaining, dtype=np.int64, count=len(remaining)))
+        draws = rng.random(len(order))
+        for eid, draw in zip(order, draws):
+            if draw < probabilities[eid]:
+                chosen.append(int(eid))
+                remaining.discard(int(eid))
+                if len(chosen) >= target:
+                    return
+
+
+def bgi_backbone(
+    graph: UncertainGraph,
+    alpha: float,
+    rng: "int | np.random.Generator | None" = None,
+    spanning_fraction: float = 0.5,
+    max_forests: int = 6,
+) -> list[int]:
+    """Backbone Graph Initialisation (Algorithm 1).
+
+    Returns the ids of ``alpha |E|`` edges: first the union of maximum
+    spanning forests (connectivity backbone), then Monte-Carlo top-up.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph to sparsify.
+    alpha:
+        Sparsification ratio in ``(0, 1)``.
+    rng:
+        Seed / generator for the Monte-Carlo top-up.
+    spanning_fraction:
+        Fraction of the budget that may be filled by spanning forests
+        (the paper's ``0.5 alpha`` rule).
+    max_forests:
+        Stop peeling forests after this many (the paper's "first six").
+
+    Raises
+    ------
+    SparsificationError
+        If ``alpha |E|`` is smaller than a single spanning tree, i.e.
+        ``alpha < (|V| - 1) / |E|`` for a connected graph (the paper's
+        footnote 7 assumption).
+    """
+    rng = ensure_rng(rng)
+    m = graph.number_of_edges()
+    n = graph.number_of_vertices()
+    target = target_edge_count(m, alpha)
+    edge_vertices = graph.edge_index_array()
+    probabilities = np.array(graph.probability_array())
+
+    remaining = set(range(m))
+    chosen: list[int] = []
+
+    # First forest: a maximum spanning tree (of each component).
+    first = maximum_spanning_forest(
+        n, np.fromiter(remaining, dtype=np.int64, count=len(remaining)),
+        edge_vertices, probabilities,
+    )
+    if len(first) > target:
+        raise SparsificationError(
+            f"alpha={alpha} keeps {target} edges but a spanning forest needs "
+            f"{len(first)}; connectivity cannot be preserved "
+            f"(require alpha >= (|V|-1)/|E|)"
+        )
+    chosen.extend(first)
+    remaining.difference_update(first)
+
+    spanning_budget = int(spanning_fraction * alpha * m)
+    forests_built = 1
+    while (
+        len(chosen) < spanning_budget
+        and forests_built < max_forests
+        and remaining
+        and len(chosen) < target
+    ):
+        forest = maximum_spanning_forest(
+            n, np.fromiter(remaining, dtype=np.int64, count=len(remaining)),
+            edge_vertices, probabilities,
+        )
+        if not forest:
+            break
+        if len(chosen) + len(forest) > target:
+            forest = forest[: target - len(chosen)]
+        chosen.extend(forest)
+        remaining.difference_update(forest)
+        forests_built += 1
+
+    _mc_top_up(chosen, remaining, probabilities, target, rng)
+    return chosen
+
+
+def random_backbone(
+    graph: UncertainGraph,
+    alpha: float,
+    rng: "int | np.random.Generator | None" = None,
+) -> list[int]:
+    """Random backbone: Monte-Carlo edge sampling until ``alpha |E|`` edges.
+
+    This is the backbone of the non-``t`` variants in section 6.1 (and
+    the deterministic-graph heuristic of [24]): connectivity is *not*
+    guaranteed.
+    """
+    rng = ensure_rng(rng)
+    m = graph.number_of_edges()
+    target = target_edge_count(m, alpha)
+    probabilities = np.array(graph.probability_array())
+    chosen: list[int] = []
+    remaining = set(range(m))
+    _mc_top_up(chosen, remaining, probabilities, target, rng)
+    return chosen
+
+
+def local_degree_backbone(graph: UncertainGraph, alpha: float) -> list[int]:
+    """Local Degree heuristic backbone (Lindner et al. [24], for ablations).
+
+    Each vertex nominates its incident edges towards the highest-degree
+    neighbours; edges are accepted in nomination-rank order until the
+    budget fills.  Deterministic.
+    """
+    m = graph.number_of_edges()
+    target = target_edge_count(m, alpha)
+    indexer = graph.vertex_indexer()
+    edge_list = graph.edge_list()
+    edge_id_of: dict[tuple[int, int], int] = {}
+    for eid, (u, v) in enumerate(edge_list):
+        a, b = indexer[u], indexer[v]
+        edge_id_of[(min(a, b), max(a, b))] = eid
+    degrees = {v: graph.degree(v) for v in graph.vertices()}
+
+    # rank[eid] = best (lowest) nomination position across both endpoints.
+    rank: dict[int, float] = {}
+    for u in graph.vertices():
+        nbrs = sorted(graph.neighbors(u), key=lambda w: -degrees[w])
+        for position, w in enumerate(nbrs):
+            a, b = indexer[u], indexer[w]
+            eid = edge_id_of[(min(a, b), max(a, b))]
+            score = position / max(degrees[u], 1)
+            if eid not in rank or score < rank[eid]:
+                rank[eid] = score
+
+    ordered = sorted(range(m), key=lambda eid: (rank.get(eid, 1.0), eid))
+    return ordered[:target]
+
+
+def build_backbone(
+    graph: UncertainGraph,
+    alpha: float,
+    method: str = "bgi",
+    rng: "int | np.random.Generator | None" = None,
+    **kwargs,
+) -> list[int]:
+    """Dispatch on backbone construction method.
+
+    ``method`` is one of ``"bgi"`` (Algorithm 1, the ``-t`` variants),
+    ``"random"`` (Monte-Carlo sampling), ``"local_degree"`` ([24]) or
+    ``"t_bundle"`` (edge-disjoint spanner layers, footnote 8 / [21]).
+    """
+    if method == "bgi":
+        return bgi_backbone(graph, alpha, rng=rng, **kwargs)
+    if method == "random":
+        return random_backbone(graph, alpha, rng=rng, **kwargs)
+    if method == "local_degree":
+        return local_degree_backbone(graph, alpha, **kwargs)
+    if method == "t_bundle":
+        from repro.core.tbundle import t_bundle_backbone
+
+        return t_bundle_backbone(graph, alpha, rng=rng, **kwargs)
+    raise ValueError(f"unknown backbone method: {method!r}")

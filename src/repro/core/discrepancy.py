@@ -1,0 +1,249 @@
+"""Degree / cut discrepancies and the sparsification objectives.
+
+The paper measures how well a sparsified graph ``G'`` preserves the
+structure of ``G`` through *discrepancies* (section 3.1):
+
+- absolute discrepancy of a vertex set ``S``:
+  ``delta_A(S) = C_G(S) - C_G'(S)`` (expected cut sizes),
+- relative discrepancy ``delta_R(S) = delta_A(S) / C_G(S)``,
+- the ``k``-discrepancy ``Delta_k = sum_{|S| = k} |delta(S)|``.
+
+For ``k = 1`` the cut of a singleton is the vertex's expected degree, so
+``Delta_1`` is the total expected-degree error.  GDB and EMD minimise the
+squared surrogate ``D_1 = sum_u delta(u)^2`` (sections 4.2-4.3).
+
+This module provides:
+
+- pure functions computing discrepancy vectors between two graphs, and
+- :class:`SparsificationState`, the incremental index-based bookkeeping
+  structure that GDB / EMD mutate: current edge probabilities, per-vertex
+  ``delta_A``, the global residual ``sum_e (p_e - phat_e)`` needed by the
+  cut rules of section 5, and the ``D_1`` objective.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.core.uncertain_graph import UncertainGraph, Vertex
+from repro.exceptions import GraphError
+
+
+# ----------------------------------------------------------------------
+# Whole-graph discrepancy functions (used by metrics and tests)
+# ----------------------------------------------------------------------
+def degree_discrepancy_vector(
+    original: UncertainGraph,
+    sparsified: UncertainGraph,
+    relative: bool = False,
+) -> np.ndarray:
+    """Per-vertex discrepancy ``delta(u)`` between ``G`` and ``G'``.
+
+    The vector is aligned with ``original.vertex_indexer()``.  With
+    ``relative=True``, each entry is divided by the vertex's expected
+    degree in ``G`` (vertices with zero expected degree get 0: they have
+    nothing to preserve).
+    """
+    if set(sparsified.vertices()) != set(original.vertices()):
+        raise GraphError("sparsified graph must keep the original vertex set")
+    deltas = np.empty(original.number_of_vertices(), dtype=np.float64)
+    for i, vertex in enumerate(original.vertices()):
+        d_orig = original.expected_degree(vertex)
+        d_new = sparsified.expected_degree(vertex) if vertex in sparsified else 0.0
+        delta = d_orig - d_new
+        if relative:
+            delta = delta / d_orig if d_orig > 0 else 0.0
+        deltas[i] = delta
+    return deltas
+
+
+def cut_discrepancy(
+    original: UncertainGraph,
+    sparsified: UncertainGraph,
+    subset: Iterable[Vertex],
+    relative: bool = False,
+) -> float:
+    """Discrepancy ``delta(S)`` of a single vertex set (Definition 1)."""
+    subset = list(subset)
+    c_orig = original.expected_cut_size(subset)
+    c_new = sparsified.expected_cut_size(subset)
+    delta = c_orig - c_new
+    if relative:
+        return delta / c_orig if c_orig > 0 else 0.0
+    return delta
+
+
+def d1_objective(original: UncertainGraph, sparsified: UncertainGraph,
+                 relative: bool = False) -> float:
+    """The squared objective ``D_1 = sum_u delta(u)^2`` (section 4.2)."""
+    deltas = degree_discrepancy_vector(original, sparsified, relative=relative)
+    return float(np.sum(deltas * deltas))
+
+
+def delta_1(original: UncertainGraph, sparsified: UncertainGraph,
+            relative: bool = False) -> float:
+    """The paper's ``Delta_1 = sum_u |delta(u)|`` (problem objective, k=1)."""
+    deltas = degree_discrepancy_vector(original, sparsified, relative=relative)
+    return float(np.abs(deltas).sum())
+
+
+# ----------------------------------------------------------------------
+# Incremental state for GDB / EMD
+# ----------------------------------------------------------------------
+class SparsificationState:
+    """Index-based incremental bookkeeping for the iterative sparsifiers.
+
+    The state is defined against the *original* graph's edge list: edge
+    ``eid`` refers to position ``eid`` in ``original.edge_list()``.  Each
+    edge has a current probability ``phat[eid]`` which is 0 for edges not
+    presently in the sparsified edge set.
+
+    Maintained invariants (O(1) per update):
+
+    - ``delta[u] = d_G(u) - sum_{e in E', e ~ u} phat[e]``  (absolute
+      degree discrepancy of every vertex),
+    - ``total_residual = sum_{e in E} (p[e] - phat[e])`` (the global term
+      feeding the cut rules, Eq. 13-16),
+    - ``selected`` — boolean membership of each edge in ``E'``.
+
+    The class is deliberately unaware of *which* rule updates
+    probabilities; GDB / EMD drive it.
+    """
+
+    def __init__(self, original: UncertainGraph) -> None:
+        self.graph = original
+        self.indexer = original.vertex_indexer()
+        self.vertex_of = list(original.vertices())
+        self.n = original.number_of_vertices()
+        self.edge_vertices = original.edge_index_array()  # (m, 2)
+        self.p_original = np.array(original.probability_array(), dtype=np.float64)
+        self.m = len(self.p_original)
+        self.phat = np.zeros(self.m, dtype=np.float64)
+        self.selected = np.zeros(self.m, dtype=bool)
+        self.original_degrees = original.expected_degree_array()
+        self.delta = self.original_degrees.copy()
+        self.total_residual = float(self.p_original.sum())
+        # Incidence: vertex id -> list of edge ids, built once.
+        self.incident: list[list[int]] = [[] for _ in range(self.n)]
+        for eid in range(self.m):
+            u, v = self.edge_vertices[eid]
+            self.incident[int(u)].append(eid)
+            self.incident[int(v)].append(eid)
+
+    # -- membership -----------------------------------------------------
+    def select_edge(self, eid: int, probability: float | None = None) -> None:
+        """Put edge ``eid`` into the sparsified set.
+
+        Defaults to the original probability (the seed graph of
+        Algorithm 2 / 3 starts from ``phat = p``).
+        """
+        if self.selected[eid]:
+            raise GraphError(f"edge {eid} already selected")
+        self.selected[eid] = True
+        p = self.p_original[eid] if probability is None else float(probability)
+        self._apply_probability(eid, p)
+
+    def deselect_edge(self, eid: int) -> float:
+        """Remove edge ``eid`` from the sparsified set; returns its last phat."""
+        if not self.selected[eid]:
+            raise GraphError(f"edge {eid} not selected")
+        old = float(self.phat[eid])
+        self._apply_probability(eid, 0.0)
+        self.selected[eid] = False
+        return old
+
+    def set_probability(self, eid: int, probability: float) -> None:
+        """Change the current probability of a selected edge."""
+        if not self.selected[eid]:
+            raise GraphError(f"edge {eid} not selected")
+        self._apply_probability(eid, float(probability))
+
+    def _apply_probability(self, eid: int, new_p: float) -> None:
+        change = new_p - self.phat[eid]
+        if change == 0.0:
+            self.phat[eid] = new_p
+            return
+        u, v = self.edge_vertices[eid]
+        self.delta[u] -= change
+        self.delta[v] -= change
+        self.total_residual -= change
+        self.phat[eid] = new_p
+
+    # -- views ------------------------------------------------------------
+    def selected_edge_ids(self) -> np.ndarray:
+        """Array of edge ids currently in ``E'``."""
+        return np.flatnonzero(self.selected)
+
+    def edge_count(self) -> int:
+        """Current ``|E'|``."""
+        return int(self.selected.sum())
+
+    def endpoints(self, eid: int) -> tuple[int, int]:
+        """Dense integer endpoints of edge ``eid``."""
+        u, v = self.edge_vertices[eid]
+        return int(u), int(v)
+
+    def residual_excluding(self, eid: int) -> float:
+        """``Delta-hat(e)``: global residual over edges touching neither endpoint.
+
+        This is the term of Eq. (13): ``sum_{(u1,v1): u1 != u0, v1 != v0}
+        (p - phat)``.  Computed as the total residual minus the residual
+        of all edges incident to either endpoint — which equals
+        ``delta[u] + delta[v]`` minus the doubly-counted edge ``e``
+        itself.
+        """
+        u, v = self.endpoints(eid)
+        edge_residual = self.p_original[eid] - self.phat[eid]
+        incident_residual = self.delta[u] + self.delta[v] - edge_residual
+        return self.total_residual - incident_residual
+
+    def residual_excluding_edge_only(self, eid: int) -> float:
+        """Global residual over all edges except ``e`` (the k = n rule, Eq. 16)."""
+        return self.total_residual - (self.p_original[eid] - self.phat[eid])
+
+    # -- objectives -------------------------------------------------------
+    def d1(self, relative: bool = False) -> float:
+        """Current ``D_1 = sum_u delta(u)^2`` (or the relative variant)."""
+        if not relative:
+            return float(np.dot(self.delta, self.delta))
+        scale = np.where(self.original_degrees > 0, self.original_degrees, 1.0)
+        rel = np.where(self.original_degrees > 0, self.delta / scale, 0.0)
+        return float(np.dot(rel, rel))
+
+    def mean_absolute_delta(self) -> float:
+        """MAE of the absolute degree discrepancy (Table 2's metric)."""
+        return float(np.abs(self.delta).mean())
+
+    # -- materialisation ----------------------------------------------------
+    def build_graph(self, name: str = "") -> UncertainGraph:
+        """Materialise the current state as an :class:`UncertainGraph`.
+
+        Edges whose current probability has been driven to (numerically)
+        zero are kept with a tiny positive probability so the edge budget
+        ``|E'| = alpha |E|`` is verifiable on the output; callers that
+        prefer dropping them can prune afterwards.
+        """
+        edge_list = self.graph.edge_list()
+        out = UncertainGraph(vertices=self.graph.vertices(), name=name)
+        floor = 1e-9
+        for eid in np.flatnonzero(self.selected):
+            u, v = edge_list[eid]
+            out.add_edge(u, v, max(float(self.phat[eid]), floor))
+        return out
+
+    # -- invariant check (tests) -------------------------------------------
+    def verify(self, tol: float = 1e-8) -> None:
+        """Recompute delta / residual from scratch and compare (slow)."""
+        degrees = np.zeros(self.n, dtype=np.float64)
+        for eid in np.flatnonzero(self.selected):
+            u, v = self.edge_vertices[eid]
+            degrees[u] += self.phat[eid]
+            degrees[v] += self.phat[eid]
+        expected_delta = self.original_degrees - degrees
+        if not np.allclose(expected_delta, self.delta, atol=tol):
+            raise AssertionError("delta bookkeeping diverged")
+        expected_residual = float((self.p_original - self.phat).sum())
+        if abs(expected_residual - self.total_residual) > max(tol, 1e-6 * abs(expected_residual)):
+            raise AssertionError("total residual bookkeeping diverged")

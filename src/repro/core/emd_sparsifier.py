@@ -1,0 +1,207 @@
+"""Expectation-Maximization Degree (EMD) — paper Algorithm 3.
+
+EMD alternates two phases until the degree objective
+``D_1 = sum_u delta(u)^2`` stops improving:
+
+- **E-phase** (edge swapping): walk over the current backbone edges; for
+  each edge ``e``, tentatively remove it, look at the vertex ``v_H``
+  with the *largest* absolute discrepancy (a vertex-indexed max-heap
+  keyed by ``|delta_A|``), and among the non-selected original edges
+  adjacent to ``v_H`` — plus ``e`` itself — insert the edge with the
+  highest *gain* (Eq. 10) at its rule-optimal probability (Eq. 9).
+  The edge budget is preserved: each removal is paired with one insert.
+- **M-phase**: run GDB (:func:`repro.core.gdb.gdb_refine`) on the new
+  backbone to re-optimise all probabilities.
+
+The heap makes each E-phase ``O(alpha |E| log |V|)`` (section 4.3's
+complexity argument): an edge update touches exactly two vertices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.backbone import build_backbone
+from repro.core.discrepancy import SparsificationState
+from repro.core.entropy import edge_entropy
+from repro.core.gdb import GDBConfig, gdb_refine
+from repro.core.rules import degree_step_absolute, degree_step_relative
+from repro.core.uncertain_graph import UncertainGraph
+from repro.utils.heap import IndexedMaxHeap
+
+
+@dataclass(frozen=True)
+class EMDConfig:
+    """Hyper-parameters of Algorithm 3.
+
+    ``h`` / ``relative`` mirror :class:`GDBConfig`; ``tau`` bounds the
+    outer (E+M) loop; ``max_iterations`` caps it; ``gdb`` configures the
+    inner M-phase (defaults to matching ``h`` / ``relative``).
+    """
+
+    h: float = 0.05
+    tau: float = 1e-9
+    max_iterations: int = 25
+    relative: bool = False
+    gdb_max_sweeps: int = 50
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.h <= 1.0):
+            raise ValueError(f"entropy parameter h must be in [0, 1], got {self.h}")
+        if self.max_iterations < 1:
+            raise ValueError(f"max_iterations must be positive, got {self.max_iterations}")
+
+
+def _best_probability(state: SparsificationState, eid: int, h: float,
+                      relative: bool) -> float:
+    """Rule-optimal insertion probability for an edge (Eq. 9).
+
+    The edge is currently absent (``phat = 0``), so the unclamped
+    optimum is the bare step.  Algorithm 3 line 15 applies the entropy
+    guard of Eq. (9), whose pseudocode compares against ``p_e`` — the
+    edge's probability in the *input graph* (an edge re-entering ``E'``
+    is granted the entropy it carried in ``G``).  Only candidates whose
+    optimal probability would be *more* uncertain than the original are
+    attenuated: they restart from ``p_e`` with an ``h``-scaled step.
+    Measuring against the absent state (entropy 0) instead would cap
+    every insertion at ``h * stp`` and stall the E-phase.
+    """
+    step_rule = degree_step_relative if relative else degree_step_absolute
+    step = step_rule(state, eid)
+    proposed = float(state.phat[eid]) + step
+    if proposed < 0.0:
+        return 0.0
+    if proposed > 1.0:
+        return 1.0
+    original = float(state.p_original[eid])
+    if edge_entropy(proposed) > edge_entropy(original):
+        return min(max(original + h * step, 0.0), 1.0)
+    return proposed
+
+
+def _gain(state: SparsificationState, eid: int, probability: float) -> float:
+    """Objective gain of inserting ``eid`` at ``probability`` (Eq. 10).
+
+    ``g = delta_u^2 - (delta_u - w)^2 + delta_v^2 - (delta_v - w)^2``
+    with deltas taken at the edge's current (absent) contribution.
+    """
+    u, v = state.endpoints(eid)
+    du = float(state.delta[u])
+    dv = float(state.delta[v])
+    w = probability
+    return du * du - (du - w) ** 2 + dv * dv - (dv - w) ** 2
+
+
+def _e_phase(state: SparsificationState, heap: IndexedMaxHeap,
+             config: EMDConfig) -> int:
+    """One pass of edge swapping (Algorithm 3, lines 8-20).
+
+    Returns the number of structural swaps (edges replaced by a
+    different edge); zero means the backbone has stabilised.
+    """
+    swaps = 0
+    for eid in [int(e) for e in state.selected_edge_ids()]:
+        u, v = state.endpoints(eid)
+        previous_p = state.deselect_edge(eid)
+        heap.update(u, abs(float(state.delta[u])))
+        heap.update(v, abs(float(state.delta[v])))
+
+        top_vertex, _ = heap.peek()
+        # Candidates: every unselected original edge at the top vertex,
+        # plus the just-removed edge itself (line 17's arg max includes e).
+        candidates = [
+            candidate
+            for candidate in state.incident[top_vertex]
+            if not state.selected[candidate]
+        ]
+        if eid not in candidates:
+            candidates.append(eid)
+
+        # The removed edge competes both at its rule-optimal probability
+        # and at the probability it already had (the entropy guard can
+        # cap the former below the latter; keeping the edge unchanged
+        # must never lose to a worse swap).
+        best_eid = eid
+        best_p = _best_probability(state, eid, config.h, config.relative)
+        best_gain = _gain(state, eid, best_p)
+        keep_gain = _gain(state, eid, previous_p)
+        if keep_gain > best_gain:
+            best_gain, best_p = keep_gain, previous_p
+        for candidate in candidates:
+            if candidate == eid:
+                continue
+            p = _best_probability(state, candidate, config.h, config.relative)
+            g = _gain(state, candidate, p)
+            if g > best_gain:
+                best_gain, best_eid, best_p = g, candidate, p
+
+        if best_eid != eid:
+            swaps += 1
+        state.select_edge(best_eid, probability=best_p)
+        bu, bv = state.endpoints(best_eid)
+        heap.update(bu, abs(float(state.delta[bu])))
+        heap.update(bv, abs(float(state.delta[bv])))
+    return swaps
+
+
+def emd(
+    graph: UncertainGraph,
+    alpha: float | None = None,
+    backbone_ids: list[int] | None = None,
+    config: EMDConfig | None = None,
+    backbone_method: str = "bgi",
+    rng: "int | np.random.Generator | None" = None,
+    name: str = "",
+) -> UncertainGraph:
+    """Sparsify ``graph`` with Expectation-Maximization Degree (Algorithm 3).
+
+    Arguments mirror :func:`repro.core.gdb.gdb`; EMD additionally mutates
+    the backbone's *edge set* during its E-phases, so it is less
+    sensitive to the initial backbone than GDB (section 4.3).
+
+    Returns
+    -------
+    UncertainGraph
+        Sparsified graph with the same edge budget as the backbone.
+    """
+    if (alpha is None) == (backbone_ids is None):
+        raise ValueError("provide exactly one of alpha or backbone_ids")
+    config = config or EMDConfig()
+    if backbone_ids is None:
+        backbone_ids = build_backbone(graph, alpha, method=backbone_method, rng=rng)
+
+    state = SparsificationState(graph)
+    for eid in backbone_ids:
+        state.select_edge(eid)
+
+    gdb_config = GDBConfig(
+        h=config.h,
+        tau=config.tau,
+        max_sweeps=config.gdb_max_sweeps,
+        k=1,
+        relative=config.relative,
+    )
+
+    final_gdb_config = GDBConfig(
+        h=config.h, tau=config.tau, max_sweeps=4 * config.gdb_max_sweeps,
+        k=1, relative=config.relative,
+    )
+    objective = state.d1(relative=config.relative)
+    for _ in range(config.max_iterations):
+        heap = IndexedMaxHeap(
+            {v: abs(float(state.delta[v])) for v in range(state.n)}
+        )
+        swaps = _e_phase(state, heap, config)  # E-phase: swap edges
+        gdb_refine(state, gdb_config)          # M-phase: re-optimise probabilities
+        new_objective = state.d1(relative=config.relative)
+        converged = abs(objective - new_objective) <= config.tau
+        objective = new_objective
+        if swaps == 0 or converged:
+            # Structure stabilised: finish with a fully-converged M-phase.
+            gdb_refine(state, final_gdb_config)
+            break
+
+    label = name or f"emd[{'R' if config.relative else 'A'}]({graph.name})"
+    return state.build_graph(name=label)

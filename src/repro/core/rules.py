@@ -1,0 +1,108 @@
+"""Gradient-descent probability update rules (paper sections 4.2 and 5).
+
+Each rule returns the *unclamped* optimal step ``stp`` for one edge given
+the current :class:`~repro.core.discrepancy.SparsificationState`; GDB
+applies clamping to ``[0, 1]`` and the entropy attenuation (Eq. 9 / 14).
+
+Rules
+-----
+- ``k = 1`` absolute (Eq. 8 with ``pi = 1``): ``stp = (delta(u) + delta(v)) / 2``.
+- ``k = 1`` relative (Eq. 8 with ``pi(u) = C_G(u)``, the original expected
+  degree): ``stp = (pi(v) delta(u) + pi(u) delta(v)) / (pi(u) + pi(v))``.
+  The paper states this closed form directly; we implement it as written.
+- general ``k`` (Eq. 13/14): weights the endpoint degree discrepancies
+  against the global residual of non-incident edges with the
+  Sigma-binomial coefficients of :func:`repro.utils.binomials.cut_rule_coefficients`.
+  ``k = 1`` and ``k = 2`` collapse to Eq. (9) and Eq. (15) exactly.
+- ``k = n`` (Eq. 16): redistribute the full remaining residual to each
+  edge ("random probability reassignment").
+"""
+
+from __future__ import annotations
+
+from repro.core.discrepancy import SparsificationState
+from repro.utils.binomials import cut_rule_coefficients
+
+
+def degree_step_absolute(state: SparsificationState, eid: int) -> float:
+    """Eq. (8) with absolute discrepancy: the mean endpoint discrepancy."""
+    u, v = state.endpoints(eid)
+    return 0.5 * (float(state.delta[u]) + float(state.delta[v]))
+
+
+def degree_step_relative(state: SparsificationState, eid: int) -> float:
+    """Eq. (8) with relative discrepancy: ``pi(u) = C_G(u)``.
+
+    Endpoints of an edge always have positive original expected degree
+    (they are incident to at least this edge), so the denominator is
+    positive.
+    """
+    u, v = state.endpoints(eid)
+    pi_u = float(state.original_degrees[u])
+    pi_v = float(state.original_degrees[v])
+    denominator = pi_u + pi_v
+    if denominator <= 0.0:
+        return 0.0
+    return (pi_v * float(state.delta[u]) + pi_u * float(state.delta[v])) / denominator
+
+
+def cut_step(state: SparsificationState, eid: int, k: int) -> float:
+    """Eq. (13)/(14): optimal step preserving expected cuts up to size ``k``.
+
+    ``stp = degree_coeff * (delta(u) + delta(v)) + global_coeff * Delta-hat(e)``
+
+    where ``Delta-hat(e)`` is the residual probability mass of edges
+    touching neither endpoint (see
+    :meth:`SparsificationState.residual_excluding`).
+    """
+    degree_coeff, global_coeff = cut_rule_coefficients(state.n, k)
+    u, v = state.endpoints(eid)
+    step = degree_coeff * (float(state.delta[u]) + float(state.delta[v]))
+    if global_coeff != 0.0:
+        step += global_coeff * state.residual_excluding(eid)
+    return step
+
+
+def full_redistribution_step(state: SparsificationState, eid: int) -> float:
+    """Eq. (16), the ``k = n`` special case.
+
+    Pushes the whole remaining residual (cumulative probability of the
+    eliminated and under-weighted edges, excluding this edge's own
+    residual) onto the edge; clamping in GDB then saturates edges at 1
+    until the residual is absorbed.
+    """
+    return state.residual_excluding_edge_only(eid)
+
+
+def make_rule(k: int | str, relative: bool, n: int):
+    """Build a ``(state, eid) -> stp`` callable for a variant.
+
+    Parameters
+    ----------
+    k:
+        ``1`` / ``2`` / any int ``>= 1``, or the string ``"n"`` for the
+        full-redistribution rule (Eq. 16).
+    relative:
+        Minimise relative instead of absolute discrepancy (only
+        meaningful for ``k = 1``; the paper's cut rules of section 5 are
+        derived for ``delta_A``).
+    n:
+        Number of vertices (validates ``k`` against the graph size).
+    """
+    if k == "n":
+        return full_redistribution_step
+    if not isinstance(k, int) or k < 1:
+        raise ValueError(f"k must be a positive int or 'n', got {k!r}")
+    if k >= n:
+        return full_redistribution_step
+    if relative:
+        if k != 1:
+            raise ValueError("the relative-discrepancy rule is defined for k = 1 only")
+        return degree_step_relative
+    if k == 1:
+        return degree_step_absolute
+
+    def rule(state: SparsificationState, eid: int) -> float:
+        return cut_step(state, eid, k)
+
+    return rule

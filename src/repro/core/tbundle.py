@@ -1,0 +1,94 @@
+"""t-bundle spanner backbone (Koutis [21], paper footnote 8).
+
+The paper's Algorithm 1 peels *maximum spanning forests*; footnote 8
+notes that other deterministic skeletons — notably the t-bundle of
+spanner literature — could seed the backbone instead.  A t-bundle is a
+union of ``t`` edge-disjoint spanners: each round computes a low-stretch
+spanner of the remaining edges and removes it.  Compared with spanning
+forests, the bundle preserves *short alternative paths* (not just
+connectivity), which is exactly what spectral-sparsification theory
+wants from a skeleton.
+
+We reuse the Baswana–Sen implementation from
+:mod:`repro.baselines.spanner` with ``-log p`` weights, so each bundle
+layer keeps the most-probable paths available.  Exposed through
+``build_backbone(..., method="t_bundle")`` for the backbone ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.spanner import baswana_sen_spanner
+from repro.core.backbone import _mc_top_up, target_edge_count
+from repro.core.uncertain_graph import UncertainGraph
+from repro.utils.rng import ensure_rng
+
+
+def t_bundle_backbone(
+    graph: UncertainGraph,
+    alpha: float,
+    rng: "int | np.random.Generator | None" = None,
+    stretch: int = 2,
+    max_layers: int = 8,
+) -> list[int]:
+    """Backbone from edge-disjoint spanner layers + MC top-up.
+
+    Layers are added while they fit within the ``alpha |E|`` budget
+    (each layer is a ``(2 * stretch - 1)``-spanner of the edges not yet
+    claimed); the remainder is filled by Monte-Carlo edge sampling like
+    Algorithm 1's lines 7-11.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph.
+    alpha:
+        Sparsification ratio in ``(0, 1)``.
+    rng:
+        Seed / generator (spanner clustering and top-up are randomised).
+    stretch:
+        Stretch parameter ``t`` of each spanner layer.
+    max_layers:
+        Upper bound on bundle layers (the budget usually binds first).
+
+    When even a single layer exceeds the budget, the layer's lightest
+    (most probable) edges are kept up to the budget.
+    """
+    rng = ensure_rng(rng)
+    m = graph.number_of_edges()
+    n = graph.number_of_vertices()
+    target = target_edge_count(m, alpha)
+    edge_vertices = graph.edge_index_array()
+    probabilities = np.array(graph.probability_array())
+    weights = -np.log(np.clip(probabilities, 1e-15, 1.0))
+
+    remaining = set(range(m))
+    chosen: list[int] = []
+    for _ in range(max_layers):
+        if not remaining or len(chosen) >= target:
+            break
+        candidate_ids = np.fromiter(remaining, dtype=np.int64, count=len(remaining))
+        # Spanner over the residual subgraph: relabel edges into a
+        # compact array for the spanner routine.
+        layer_local = baswana_sen_spanner(
+            n, edge_vertices[candidate_ids], weights[candidate_ids], stretch, rng
+        )
+        layer = [int(candidate_ids[i]) for i in layer_local]
+        if not layer:
+            break
+        if len(chosen) + len(layer) > target:
+            if not chosen:
+                # Even one layer overflows (small budgets on sparse
+                # graphs): keep the layer's lightest — most probable —
+                # edges, the same fallback as the SP benchmark.
+                layer.sort(key=lambda eid: (weights[eid], eid))
+                layer = layer[:target]
+                chosen.extend(layer)
+                remaining.difference_update(layer)
+            break
+        chosen.extend(layer)
+        remaining.difference_update(layer)
+
+    _mc_top_up(chosen, remaining, probabilities, target, rng)
+    return chosen

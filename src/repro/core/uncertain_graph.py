@@ -1,0 +1,379 @@
+"""The uncertain (probabilistic) graph data structure.
+
+An uncertain graph ``G = (V, E, p)`` is an undirected simple graph whose
+edges carry an independent existence probability ``p(u, v) in (0, 1]``
+(paper section 3).  Under possible-world semantics it denotes the
+distribution over the ``2^|E|`` deterministic subgraphs obtained by
+keeping each edge independently with its probability.
+
+Design
+------
+The class keeps a dict-of-dicts adjacency (like networkx, but specialised
+and much lighter) for O(1) edge updates, plus lazily-built, cached numpy
+*edge views* (``edge_index_array`` / ``probability_array``) which the
+Monte-Carlo samplers and the vectorised algorithms consume.  Any mutation
+invalidates the cache.
+
+Vertices may be arbitrary hashable objects; algorithms that need dense
+integer ids use :meth:`vertex_indexer`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import GraphError, ProbabilityError
+from repro.utils.unionfind import UnionFind
+
+Vertex = Hashable
+Edge = tuple[Vertex, Vertex]
+
+_PROB_EPS = 1e-12
+
+
+def _validate_probability(p: float) -> float:
+    p = float(p)
+    if not (0.0 < p <= 1.0):
+        raise ProbabilityError(f"edge probability must be in (0, 1], got {p}")
+    return p
+
+
+class UncertainGraph:
+    """Undirected uncertain graph with independent edge probabilities.
+
+    Parameters
+    ----------
+    edges:
+        Optional iterable of ``(u, v, p)`` triples.
+    vertices:
+        Optional iterable of isolated vertices to pre-register (vertices
+        that appear in ``edges`` need not be listed).
+    name:
+        Optional label used in ``repr`` and experiment tables.
+
+    Examples
+    --------
+    >>> g = UncertainGraph([("a", "b", 0.5), ("b", "c", 0.25)])
+    >>> g.number_of_edges()
+    2
+    >>> round(g.expected_degree("b"), 2)
+    0.75
+    """
+
+    def __init__(
+        self,
+        edges: Iterable[tuple[Vertex, Vertex, float]] | None = None,
+        vertices: Iterable[Vertex] | None = None,
+        name: str = "",
+    ) -> None:
+        self._adj: dict[Vertex, dict[Vertex, float]] = {}
+        self.name = name
+        self._edge_cache: tuple[list[Edge], np.ndarray] | None = None
+        if vertices is not None:
+            for v in vertices:
+                self.add_vertex(v)
+        if edges is not None:
+            for u, v, p in edges:
+                self.add_edge(u, v, p)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<UncertainGraph{label} |V|={self.number_of_vertices()} "
+            f"|E|={self.number_of_edges()}>"
+        )
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self._adj
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._adj)
+
+    def number_of_vertices(self) -> int:
+        """Number of vertices ``|V|``."""
+        return len(self._adj)
+
+    def number_of_edges(self) -> int:
+        """Number of edges ``|E|``."""
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def vertices(self) -> list[Vertex]:
+        """List of vertices in insertion order."""
+        return list(self._adj)
+
+    def edges(self) -> Iterator[tuple[Vertex, Vertex, float]]:
+        """Iterate over ``(u, v, p)`` triples, each undirected edge once."""
+        seen: set[Vertex] = set()
+        for u, nbrs in self._adj.items():
+            seen.add(u)
+            for v, p in nbrs.items():
+                if v not in seen:
+                    yield u, v, p
+
+    def neighbors(self, vertex: Vertex) -> dict[Vertex, float]:
+        """Mapping ``neighbor -> probability`` for ``vertex`` (a copy-safe view)."""
+        try:
+            return self._adj[vertex]
+        except KeyError:
+            raise GraphError(f"vertex not in graph: {vertex!r}") from None
+
+    def degree(self, vertex: Vertex) -> int:
+        """Number of incident edges (topological degree)."""
+        return len(self.neighbors(vertex))
+
+    def expected_degree(self, vertex: Vertex) -> float:
+        """Expected degree: sum of incident edge probabilities."""
+        return sum(self.neighbors(vertex).values())
+
+    def expected_degrees(self) -> dict[Vertex, float]:
+        """Expected degree of every vertex."""
+        return {v: sum(nbrs.values()) for v, nbrs in self._adj.items()}
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Return ``True`` if the undirected edge ``(u, v)`` exists."""
+        return u in self._adj and v in self._adj[u]
+
+    def probability(self, u: Vertex, v: Vertex) -> float:
+        """Existence probability of edge ``(u, v)``."""
+        try:
+            return self._adj[u][v]
+        except KeyError:
+            raise GraphError(f"edge not in graph: ({u!r}, {v!r})") from None
+
+    def expected_number_of_edges(self) -> float:
+        """Expected edge count ``sum_e p_e`` of the possible worlds."""
+        return float(sum(p for _, _, p in self.edges()))
+
+    def total_probability(self) -> float:
+        """Alias of :meth:`expected_number_of_edges` (paper: probability mass)."""
+        return self.expected_number_of_edges()
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_vertex(self, vertex: Vertex) -> None:
+        """Register a vertex (no-op if already present)."""
+        if vertex not in self._adj:
+            self._adj[vertex] = {}
+            self._edge_cache = None
+
+    def add_edge(self, u: Vertex, v: Vertex, p: float) -> None:
+        """Add (or overwrite) the undirected edge ``(u, v)`` with probability ``p``."""
+        if u == v:
+            raise GraphError(f"self-loops are not allowed: {u!r}")
+        p = _validate_probability(p)
+        self.add_vertex(u)
+        self.add_vertex(v)
+        self._adj[u][v] = p
+        self._adj[v][u] = p
+        self._edge_cache = None
+
+    def set_probability(self, u: Vertex, v: Vertex, p: float) -> None:
+        """Update the probability of an existing edge."""
+        if not self.has_edge(u, v):
+            raise GraphError(f"edge not in graph: ({u!r}, {v!r})")
+        p = _validate_probability(p)
+        self._adj[u][v] = p
+        self._adj[v][u] = p
+        self._edge_cache = None
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> float:
+        """Remove edge ``(u, v)``; returns its probability."""
+        if not self.has_edge(u, v):
+            raise GraphError(f"edge not in graph: ({u!r}, {v!r})")
+        p = self._adj[u].pop(v)
+        self._adj[v].pop(u)
+        self._edge_cache = None
+        return p
+
+    def remove_vertex(self, vertex: Vertex) -> None:
+        """Remove a vertex and all incident edges."""
+        nbrs = self.neighbors(vertex)
+        for other in list(nbrs):
+            self._adj[other].pop(vertex)
+        del self._adj[vertex]
+        self._edge_cache = None
+
+    # ------------------------------------------------------------------
+    # Vectorised views
+    # ------------------------------------------------------------------
+    def vertex_indexer(self) -> dict[Vertex, int]:
+        """Map each vertex to a dense integer id (insertion order)."""
+        return {v: i for i, v in enumerate(self._adj)}
+
+    def _build_edge_cache(self) -> tuple[list[Edge], np.ndarray]:
+        if self._edge_cache is None:
+            edge_list: list[Edge] = []
+            probs: list[float] = []
+            for u, v, p in self.edges():
+                edge_list.append((u, v))
+                probs.append(p)
+            self._edge_cache = (edge_list, np.asarray(probs, dtype=np.float64))
+        return self._edge_cache
+
+    def edge_list(self) -> list[Edge]:
+        """Stable list of undirected edges (cached until mutation)."""
+        return self._build_edge_cache()[0]
+
+    def probability_array(self) -> np.ndarray:
+        """Probabilities aligned with :meth:`edge_list` (cached, read-only)."""
+        arr = self._build_edge_cache()[1]
+        arr.setflags(write=False)
+        return arr
+
+    def edge_index_array(self) -> np.ndarray:
+        """``(m, 2)`` int array of dense vertex ids aligned with :meth:`edge_list`."""
+        indexer = self.vertex_indexer()
+        edge_list = self.edge_list()
+        out = np.empty((len(edge_list), 2), dtype=np.int64)
+        for i, (u, v) in enumerate(edge_list):
+            out[i, 0] = indexer[u]
+            out[i, 1] = indexer[v]
+        return out
+
+    def expected_degree_array(self) -> np.ndarray:
+        """Expected degrees as a vector aligned with :meth:`vertex_indexer`."""
+        return np.asarray(
+            [sum(nbrs.values()) for nbrs in self._adj.values()], dtype=np.float64
+        )
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    def is_connected(self) -> bool:
+        """Topological connectivity of the support graph (ignoring probabilities)."""
+        n = self.number_of_vertices()
+        if n <= 1:
+            return True
+        indexer = self.vertex_indexer()
+        uf = UnionFind(n)
+        for u, v, _ in self.edges():
+            uf.union(indexer[u], indexer[v])
+        return uf.components == 1
+
+    def connected_components(self) -> list[set[Vertex]]:
+        """Connected components of the support graph."""
+        indexer = self.vertex_indexer()
+        vertices = list(self._adj)
+        uf = UnionFind(len(vertices))
+        for u, v, _ in self.edges():
+            uf.union(indexer[u], indexer[v])
+        groups: dict[int, set[Vertex]] = {}
+        for vertex, idx in indexer.items():
+            groups.setdefault(uf.find(idx), set()).add(vertex)
+        return list(groups.values())
+
+    def density(self) -> float:
+        """``|E|`` divided by the complete-graph edge count."""
+        n = self.number_of_vertices()
+        if n < 2:
+            return 0.0
+        return self.number_of_edges() / (n * (n - 1) / 2)
+
+    def expected_cut_size(self, subset: Iterable[Vertex]) -> float:
+        """Expected cut size ``C_G(S)`` of a vertex set (Definition 1).
+
+        Sum of probabilities of edges with exactly one endpoint in
+        ``subset``.
+        """
+        inside = set(subset)
+        for v in inside:
+            if v not in self._adj:
+                raise GraphError(f"vertex not in graph: {v!r}")
+        total = 0.0
+        for u in inside:
+            for v, p in self._adj[u].items():
+                if v not in inside:
+                    total += p
+        return total
+
+    # ------------------------------------------------------------------
+    # Copies / conversions
+    # ------------------------------------------------------------------
+    def copy(self, name: str | None = None) -> "UncertainGraph":
+        """Deep copy (probabilities included)."""
+        clone = UncertainGraph(name=self.name if name is None else name)
+        for v in self._adj:
+            clone.add_vertex(v)
+        for u, v, p in self.edges():
+            clone.add_edge(u, v, p)
+        return clone
+
+    def subgraph_with_edges(
+        self, edges: Iterable[tuple[Vertex, Vertex, float]], name: str = ""
+    ) -> "UncertainGraph":
+        """New graph on the *same vertex set* with the given edges.
+
+        This is the shape every sparsifier produces: ``V`` is kept in
+        full (paper section 3: sparsified graphs keep all vertices) and
+        only the edge set shrinks.
+        """
+        out = UncertainGraph(vertices=self._adj, name=name)
+        for u, v, p in edges:
+            if not self.has_edge(u, v):
+                raise GraphError(f"edge not in parent graph: ({u!r}, {v!r})")
+            out.add_edge(u, v, p)
+        return out
+
+    def induced_subgraph(self, vertices: Iterable[Vertex], name: str = "") -> "UncertainGraph":
+        """Induced subgraph on ``vertices`` (edges with both endpoints kept)."""
+        keep = set(vertices)
+        out = UncertainGraph(vertices=keep, name=name)
+        for u, v, p in self.edges():
+            if u in keep and v in keep:
+                out.add_edge(u, v, p)
+        return out
+
+    def relabel_to_integers(self) -> tuple["UncertainGraph", dict[Vertex, int]]:
+        """Return an isomorphic copy on vertices ``0..n-1`` plus the mapping."""
+        mapping = self.vertex_indexer()
+        out = UncertainGraph(vertices=range(len(mapping)), name=self.name)
+        for u, v, p in self.edges():
+            out.add_edge(mapping[u], mapping[v], p)
+        return out, mapping
+
+    def to_networkx(self) -> Any:
+        """Convert to a :class:`networkx.Graph` with ``probability`` edge attrs."""
+        import networkx as nx
+
+        g = nx.Graph(name=self.name)
+        g.add_nodes_from(self._adj)
+        g.add_weighted_edges_from(self.edges(), weight="probability")
+        return g
+
+    @classmethod
+    def from_networkx(cls, graph: Any, probability_attr: str = "probability") -> "UncertainGraph":
+        """Build from a networkx graph carrying a probability edge attribute."""
+        out = cls(name=str(graph.name) if getattr(graph, "name", "") else "")
+        out_vertices = list(graph.nodes())
+        for v in out_vertices:
+            out.add_vertex(v)
+        for u, v, data in graph.edges(data=True):
+            if probability_attr not in data:
+                raise GraphError(
+                    f"edge ({u!r}, {v!r}) missing attribute {probability_attr!r}"
+                )
+            out.add_edge(u, v, data[probability_attr])
+        return out
+
+    # ------------------------------------------------------------------
+    # Equality (structural, probability-tolerant)
+    # ------------------------------------------------------------------
+    def isomorphic_probabilities(self, other: "UncertainGraph", tol: float = 1e-9) -> bool:
+        """Same vertex set, same edges, probabilities equal within ``tol``."""
+        if set(self._adj) != set(other._adj):
+            return False
+        if self.number_of_edges() != other.number_of_edges():
+            return False
+        for u, v, p in self.edges():
+            if not other.has_edge(u, v):
+                return False
+            if abs(other.probability(u, v) - p) > tol:
+                return False
+        return True

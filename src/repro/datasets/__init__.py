@@ -1,0 +1,35 @@
+"""Dataset generators, subgraph samplers and edge-list I/O.
+
+Flickr/Twitter proxies (see DESIGN.md's substitution note), the paper's
+synthetic densification, Forest Fire sampling [22], the Fig. 1 worked
+example, and a plain-text edge-list reader/writer.
+"""
+
+from repro.datasets.forest_fire import forest_fire_sample
+from repro.datasets.io import read_edge_list, write_edge_list
+from repro.datasets.synthetic import (
+    barabasi_albert_uncertain,
+    beta_probability_sampler,
+    densify,
+    erdos_renyi_uncertain,
+    figure1_graph,
+    figure1_sparsified,
+    flickr_like,
+    grid_uncertain,
+    twitter_like,
+)
+
+__all__ = [
+    "barabasi_albert_uncertain",
+    "beta_probability_sampler",
+    "densify",
+    "erdos_renyi_uncertain",
+    "figure1_graph",
+    "figure1_sparsified",
+    "flickr_like",
+    "forest_fire_sample",
+    "grid_uncertain",
+    "read_edge_list",
+    "twitter_like",
+    "write_edge_list",
+]

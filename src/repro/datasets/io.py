@@ -1,0 +1,64 @@
+"""Edge-list I/O for uncertain graphs.
+
+The on-disk format mirrors the public releases of uncertain-graph
+datasets (Flickr/Twitter style): one edge per line, whitespace-separated
+``u v p``, ``#`` comments, vertices as arbitrary tokens.  Isolated
+vertices can be declared with a single-token line.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.uncertain_graph import UncertainGraph
+from repro.exceptions import GraphError
+
+
+def write_edge_list(graph: UncertainGraph, path: "str | os.PathLike") -> None:
+    """Write a graph as ``u v p`` lines (isolated vertices as bare tokens)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(f"# uncertain graph {graph.name!r}: "
+                 f"{graph.number_of_vertices()} vertices, "
+                 f"{graph.number_of_edges()} edges\n")
+        touched = set()
+        for u, v, p in graph.edges():
+            fh.write(f"{u} {v} {p:.10g}\n")
+            touched.add(u)
+            touched.add(v)
+        for vertex in graph.vertices():
+            if vertex not in touched:
+                fh.write(f"{vertex}\n")
+
+
+def read_edge_list(path: "str | os.PathLike", name: str = "") -> UncertainGraph:
+    """Parse a ``u v p`` edge list back into an :class:`UncertainGraph`.
+
+    Raises
+    ------
+    GraphError
+        On malformed lines or out-of-range probabilities.
+    """
+    graph = UncertainGraph(name=name or os.path.basename(os.fspath(path)))
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) == 1:
+                graph.add_vertex(parts[0])
+                continue
+            if len(parts) != 3:
+                raise GraphError(
+                    f"{path}:{lineno}: expected 'u v p' or a bare vertex, "
+                    f"got {raw.rstrip()!r}"
+                )
+            u, v, p_raw = parts
+            try:
+                p = float(p_raw)
+            except ValueError:
+                raise GraphError(
+                    f"{path}:{lineno}: probability is not a number: {p_raw!r}"
+                ) from None
+            graph.add_edge(u, v, p)
+    return graph

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so that callers
+can catch everything coming out of this package with a single handler
+while still being able to discriminate on the concrete subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphError(ReproError):
+    """A structural problem with an uncertain graph (bad edge, bad vertex)."""
+
+
+class ProbabilityError(GraphError):
+    """An edge probability outside the half-open interval (0, 1]."""
+
+
+class NotConnectedError(GraphError):
+    """An operation that requires a connected graph received a disconnected one."""
+
+
+class SparsificationError(ReproError):
+    """A sparsifier could not produce a graph with the requested edge budget."""
+
+
+class CalibrationError(SparsificationError):
+    """A benchmark adaptation failed to calibrate its parameter (epsilon / t)."""
+
+
+class EstimationError(ReproError):
+    """A Monte-Carlo estimator was configured or used incorrectly."""

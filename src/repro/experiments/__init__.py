@@ -1,0 +1,60 @@
+"""Experiment harness: one module per paper table / figure.
+
+Each ``run_*`` returns :class:`~repro.experiments.common.ResultTable`
+objects (printable, benchmark-consumable).  The ``benchmarks/``
+directory wires these into ``pytest-benchmark`` targets; run any module
+directly (``python -m repro.experiments.table2``) for a standalone
+report at the default ``small`` scale.
+"""
+
+from repro.experiments.common import (
+    PAPER,
+    PAPER_ALPHAS,
+    REPRESENTATIVE_EMD,
+    REPRESENTATIVE_GDB,
+    SCALES,
+    SMALL,
+    TINY,
+    ExperimentScale,
+    ResultTable,
+)
+from repro.experiments.ascii_plot import render_chart
+from repro.experiments.fig01 import run_fig01
+from repro.experiments.fig04 import run_fig04a, run_fig04b
+from repro.experiments.fig05 import run_fig05
+from repro.experiments.fig06 import run_fig06
+from repro.experiments.fig07 import run_fig07
+from repro.experiments.fig08 import run_fig08
+from repro.experiments.fig09 import run_fig09
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.fig11 import run_fig11
+from repro.experiments.fig12 import run_fig12
+from repro.experiments.sample_budget import run_sample_budget
+from repro.experiments.table2 import TABLE2_VARIANTS, run_table2
+
+__all__ = [
+    "ExperimentScale",
+    "PAPER",
+    "PAPER_ALPHAS",
+    "REPRESENTATIVE_EMD",
+    "REPRESENTATIVE_GDB",
+    "ResultTable",
+    "SCALES",
+    "SMALL",
+    "TABLE2_VARIANTS",
+    "TINY",
+    "render_chart",
+    "run_fig01",
+    "run_fig04a",
+    "run_fig04b",
+    "run_fig05",
+    "run_fig06",
+    "run_fig07",
+    "run_fig08",
+    "run_fig09",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+    "run_sample_budget",
+    "run_table2",
+]

@@ -1,0 +1,85 @@
+"""ASCII line charts for experiment series (matplotlib-free "figures").
+
+The paper's evaluation is figures, not tables; this module renders a
+:class:`~repro.experiments.common.ResultTable` whose first column is the
+series label and whose remaining columns are y-values over an implicit
+x-axis, as a log- or linear-scale ASCII chart.  Used by the experiment
+modules' ``__main__`` blocks and handy in terminals without plotting
+stacks.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.common import ResultTable
+
+_MARKERS = "ox*+#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, height: int, log: bool) -> int:
+    if log:
+        value, lo, hi = math.log10(value), math.log10(lo), math.log10(hi)
+    if hi <= lo:
+        return 0
+    fraction = (value - lo) / (hi - lo)
+    return min(height - 1, max(0, round(fraction * (height - 1))))
+
+
+def render_chart(
+    table: ResultTable,
+    height: int = 12,
+    log_y: bool = True,
+    title: str | None = None,
+) -> str:
+    """Render the table as an ASCII chart (one marker per series).
+
+    Parameters
+    ----------
+    table:
+        First column = series label, remaining columns = y values; the
+        column headers become the x-axis ticks.
+    height:
+        Chart height in rows.
+    log_y:
+        Log-scale the y axis (the paper's plots are mostly log-log).
+        Non-positive values are clamped to the smallest positive value.
+    """
+    x_labels = table.headers[1:]
+    series = {row[0]: [float(v) for v in row[1:]] for row in table.rows}
+    positive = [v for values in series.values() for v in values if v > 0]
+    if not positive:
+        return f"{title or table.title}\n(all values non-positive)"
+    lo, hi = min(positive), max(positive)
+    if log_y and hi / lo < 10:
+        log_y = False  # linear is more readable for narrow ranges
+
+    width = max(len(x_labels) * 8, 24)
+    grid = [[" "] * width for _ in range(height)]
+    x_positions = [
+        int(i * (width - 1) / max(len(x_labels) - 1, 1))
+        for i in range(len(x_labels))
+    ]
+    legend = []
+    for marker, (label, values) in zip(_MARKERS, series.items()):
+        legend.append(f"{marker}={label}")
+        for x, value in zip(x_positions, values):
+            v = max(value, lo) if log_y else value
+            y = _scale(v, lo, hi, height, log_y)
+            row = height - 1 - y
+            grid[row][x] = marker if grid[row][x] == " " else "!"
+
+    lines = [title or table.title]
+    axis = "log" if log_y else "lin"
+    lines.append(f"y[{axis}]: {lo:.3g} .. {hi:.3g}")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    tick_row = [" "] * (width + 1)
+    for x, label in zip(x_positions, x_labels):
+        for i, ch in enumerate(label[:7]):
+            if x + 1 + i <= width:
+                tick_row[x + i] = ch
+    lines.append(" " + "".join(tick_row).rstrip())
+    lines.append("  ".join(legend))
+    return "\n".join(lines)

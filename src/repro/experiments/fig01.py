@@ -1,0 +1,48 @@
+"""Fig. 1 / introduction worked example.
+
+The paper motivates sparsification with a K4 at edge probability 0.3
+(Pr[connected] = 0.219, entropy 0.94 per-edge-normalised) and a 3-edge
+spanning tree at 0.6 (Pr[connected] = 0.216).  This experiment
+reproduces the exact connectivity probabilities by full possible-world
+enumeration and reports the entropies; it also runs GDB on the example
+to show the framework recovers a comparable sparsifier automatically.
+"""
+
+from __future__ import annotations
+
+from repro.core import GDBConfig, gdb, graph_entropy
+from repro.datasets import figure1_graph, figure1_sparsified
+from repro.experiments.common import ResultTable
+from repro.sampling import exact_connectivity_probability
+
+
+def run_fig01() -> ResultTable:
+    """Exact Pr[connected] and entropy for the Fig. 1 example graphs."""
+    original = figure1_graph()
+    manual = figure1_sparsified()
+    automatic = gdb(
+        original, alpha=0.5, config=GDBConfig(h=1.0), backbone_method="bgi",
+        rng=1, name="gdb(fig1)",
+    )
+
+    table = ResultTable(
+        title="Fig. 1 — introductory example (exact, 2^|E| enumeration)",
+        headers=["graph", "|E|", "Pr[connected]", "entropy_bits"],
+        notes=(
+            "paper: Pr=0.219 (original) vs 0.216 (hand-picked sparsifier); "
+            "GDB optimises degree discrepancy Delta_1, a different objective, "
+            "so its tree carries lower edge probabilities"
+        ),
+    )
+    for graph in (original, manual, automatic):
+        table.add_row(
+            graph.name,
+            graph.number_of_edges(),
+            exact_connectivity_probability(graph),
+            graph_entropy(graph),
+        )
+    return table
+
+
+if __name__ == "__main__":
+    print(run_fig01())

@@ -1,0 +1,71 @@
+"""Fig. 4 — cut-size discrepancy MAE and LP/GDB/EMD running time.
+
+(a) MAE of the cut discrepancy ``delta_A(S)`` over sampled vertex sets
+    for the main variants, versus alpha (Flickr reduced).
+(b) Execution time of LP vs GDB vs EMD versus alpha — GDB < EMD << LP.
+"""
+
+from __future__ import annotations
+
+from repro.core import sparsify
+from repro.experiments.common import (
+    ExperimentScale,
+    ResultTable,
+    SMALL,
+    make_flickr_reduced,
+    timed,
+)
+from repro.metrics import sample_cut_sets, sampled_cut_discrepancy_mae
+
+FIG4A_VARIANTS = ("EMD^R-t", "EMD^A", "GDB^R-t", "GDB^A", "GDB^A_2", "GDB^A_n")
+
+
+def run_fig04a(
+    scale: ExperimentScale = SMALL,
+    variants: tuple[str, ...] = FIG4A_VARIANTS,
+    seed: int = 17,
+) -> ResultTable:
+    """MAE of ``delta_A(S)`` over sampled k-cuts vs alpha (Fig. 4a)."""
+    graph = make_flickr_reduced(scale, seed=seed)
+    n = graph.number_of_vertices()
+    cut_sets = sample_cut_sets(n, samples_per_k=scale.cut_samples_per_k, rng=seed)
+    table = ResultTable(
+        title=f"Fig. 4(a) — MAE of cut discrepancy delta_A(S) ({graph.name})",
+        headers=["variant"] + [f"{int(a * 100)}%" for a in scale.alphas],
+        notes=f"{len(cut_sets)} sampled cuts across cardinality ladder",
+    )
+    for variant in variants:
+        row: list = [variant]
+        for alpha in scale.alphas:
+            sparsified = sparsify(graph, alpha, variant=variant, rng=seed)
+            row.append(
+                sampled_cut_discrepancy_mae(graph, sparsified, cut_sets=cut_sets)
+            )
+        table.rows.append(row)
+    return table
+
+
+def run_fig04b(
+    scale: ExperimentScale = SMALL,
+    seed: int = 17,
+) -> ResultTable:
+    """Wall-clock seconds of LP vs GDB vs EMD vs alpha (Fig. 4b)."""
+    graph = make_flickr_reduced(scale, seed=seed)
+    table = ResultTable(
+        title=f"Fig. 4(b) — sparsification time, seconds ({graph.name})",
+        headers=["method"] + [f"{int(a * 100)}%" for a in scale.alphas],
+        notes="expect LP >> EMD > GDB at every alpha",
+    )
+    for variant in ("LP-t", "GDB^A-t", "EMD^A-t"):
+        row: list = [variant]
+        for alpha in scale.alphas:
+            _, seconds = timed(sparsify, graph, alpha, variant=variant, rng=seed)
+            row.append(seconds)
+        table.rows.append(row)
+    return table
+
+
+if __name__ == "__main__":
+    print(run_fig04a())
+    print()
+    print(run_fig04b())

@@ -1,0 +1,61 @@
+"""Fig. 9 — sparsification running time on the real proxies.
+
+Wall-clock seconds of NI, GDB, EMD versus alpha.  Expected shape: the
+proposed methods scale linearly in ``alpha |E|`` and NI is more than an
+order of magnitude slower (SP is omitted in the paper's figure because
+it takes hours; here it is optional).
+"""
+
+from __future__ import annotations
+
+from repro.core import sparsify
+from repro.core.uncertain_graph import UncertainGraph
+from repro.experiments.common import (
+    REPRESENTATIVE_EMD,
+    REPRESENTATIVE_GDB,
+    ExperimentScale,
+    ResultTable,
+    SMALL,
+    make_flickr_proxy,
+    make_twitter_proxy,
+    timed,
+)
+
+TIMED_METHODS = ("NI", REPRESENTATIVE_GDB, REPRESENTATIVE_EMD)
+
+
+def runtime_table(
+    graph: UncertainGraph,
+    scale: ExperimentScale,
+    methods: tuple[str, ...] = TIMED_METHODS,
+    seed: int = 37,
+) -> ResultTable:
+    """Seconds per method per alpha for one dataset."""
+    table = ResultTable(
+        title=f"Fig. 9 — sparsification time, seconds ({graph.name})",
+        headers=["method"] + [f"{int(a * 100)}%" for a in scale.alphas],
+        notes="expect NI >> EMD > GDB; linear growth in alpha",
+    )
+    for method in methods:
+        row: list = [method]
+        for alpha in scale.alphas:
+            _, seconds = timed(sparsify, graph, alpha, variant=method, rng=seed)
+            row.append(seconds)
+        table.rows.append(row)
+    return table
+
+
+def run_fig09(
+    scale: ExperimentScale = SMALL, seed: int = 37
+) -> dict[str, ResultTable]:
+    """Timing tables for both real proxies."""
+    return {
+        "flickr": runtime_table(make_flickr_proxy(scale), scale, seed=seed),
+        "twitter": runtime_table(make_twitter_proxy(scale), scale, seed=seed),
+    }
+
+
+if __name__ == "__main__":
+    for table in run_fig09().values():
+        print(table)
+        print()

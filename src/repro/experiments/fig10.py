@@ -1,0 +1,87 @@
+"""Fig. 10 — earth mover's distance of query results versus alpha.
+
+For each dataset and each query (PR, SP, RL, CC), run Monte-Carlo on the
+original graph and on every method's sparsified graph, and report the
+mean per-unit earth mover's distance between the outcome distributions
+(Eq. 17).  Expected shape: GDB/EMD below NI/SP almost everywhere; SP
+(the spanner) poor even on the SP query; errors shrink as alpha grows.
+"""
+
+from __future__ import annotations
+
+from repro.core import sparsify
+from repro.core.uncertain_graph import UncertainGraph
+from repro.experiments.common import (
+    ExperimentScale,
+    ResultTable,
+    SMALL,
+    make_flickr_proxy,
+    make_twitter_proxy,
+)
+from repro.experiments.fig06 import COMPARISON_METHODS
+from repro.experiments.queries_common import QUERY_NAMES, build_queries
+from repro.metrics import mean_earth_movers_distance
+from repro.sampling import MonteCarloEstimator
+
+
+def query_quality_tables(
+    graph: UncertainGraph,
+    scale: ExperimentScale,
+    methods: tuple[str, ...] = COMPARISON_METHODS,
+    query_names: tuple[str, ...] = QUERY_NAMES,
+    alphas: tuple[float, ...] | None = None,
+    seed: int = 41,
+) -> dict[str, ResultTable]:
+    """One ``D_em`` table per query for one dataset."""
+    alphas = alphas or scale.alphas
+    queries = build_queries(graph, scale, seed=seed, names=query_names)
+    estimator = MonteCarloEstimator(graph, n_samples=scale.mc_samples)
+    baseline_outcomes = {
+        name: estimator.run(query, rng=seed).outcomes
+        for name, query in queries.items()
+    }
+    tables = {
+        name: ResultTable(
+            title=f"Fig. 10 — D_em of {name} ({graph.name})",
+            headers=["method"] + [f"{int(a * 100)}%" for a in alphas],
+        )
+        for name in queries
+    }
+    for method in methods:
+        rows = {name: [method] for name in queries}
+        for alpha in alphas:
+            sparsified = sparsify(graph, alpha, variant=method, rng=seed)
+            sparse_estimator = MonteCarloEstimator(
+                sparsified, n_samples=scale.mc_samples
+            )
+            for name, query in queries.items():
+                outcomes = sparse_estimator.run(query, rng=seed + 1).outcomes
+                rows[name].append(
+                    mean_earth_movers_distance(baseline_outcomes[name], outcomes)
+                )
+        for name in queries:
+            tables[name].rows.append(rows[name])
+    return tables
+
+
+def run_fig10(
+    scale: ExperimentScale = SMALL,
+    seed: int = 41,
+    query_names: tuple[str, ...] = QUERY_NAMES,
+) -> dict[str, dict[str, ResultTable]]:
+    """Both datasets' query-quality tables, keyed by dataset then query."""
+    return {
+        "flickr": query_quality_tables(
+            make_flickr_proxy(scale), scale, query_names=query_names, seed=seed
+        ),
+        "twitter": query_quality_tables(
+            make_twitter_proxy(scale), scale, query_names=query_names, seed=seed
+        ),
+    }
+
+
+if __name__ == "__main__":
+    for dataset, tables in run_fig10().items():
+        for table in tables.values():
+            print(table)
+            print()

@@ -1,0 +1,64 @@
+"""Fig. 11 — earth mover's distance versus density (synthetic sweep).
+
+``D_em`` of PR and SP at alpha = 16% across the density ladder.  The
+paper's shape: PR error grows with density (node-centric, degree-
+correlated — mirrors Fig. 7a), SP error *shrinks* with density
+(abundant alternative short paths), and RL is ~0 for every method on
+dense graphs (hence omitted, as in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.core import sparsify
+from repro.experiments.common import ExperimentScale, ResultTable, SMALL
+from repro.experiments.fig06 import COMPARISON_METHODS
+from repro.experiments.fig07 import make_density_sweep
+from repro.experiments.queries_common import build_queries
+from repro.metrics import mean_earth_movers_distance
+from repro.sampling import MonteCarloEstimator
+
+
+def run_fig11(
+    scale: ExperimentScale = SMALL,
+    alpha: float = 0.16,
+    seed: int = 43,
+    query_names: tuple[str, ...] = ("PR", "SP"),
+) -> dict[str, ResultTable]:
+    """``D_em`` of PR / SP per method per density (Fig. 11)."""
+    graphs = make_density_sweep(scale, seed=seed)
+    headers = ["method"] + [f"{int(d * 100)}%" for d in scale.densities]
+    tables = {
+        name: ResultTable(
+            title=f"Fig. 11 — D_em of {name} vs density (alpha={alpha:.0%})",
+            headers=headers,
+        )
+        for name in query_names
+    }
+    rows = {name: {m: [m] for m in COMPARISON_METHODS} for name in query_names}
+    for graph in graphs.values():
+        queries = build_queries(graph, scale, seed=seed, names=query_names)
+        estimator = MonteCarloEstimator(graph, n_samples=scale.mc_samples)
+        baseline = {
+            name: estimator.run(query, rng=seed).outcomes
+            for name, query in queries.items()
+        }
+        for method in COMPARISON_METHODS:
+            sparsified = sparsify(graph, alpha, variant=method, rng=seed)
+            sparse_estimator = MonteCarloEstimator(
+                sparsified, n_samples=scale.mc_samples
+            )
+            for name, query in queries.items():
+                outcomes = sparse_estimator.run(query, rng=seed + 1).outcomes
+                rows[name][method].append(
+                    mean_earth_movers_distance(baseline[name], outcomes)
+                )
+    for name in query_names:
+        for method in COMPARISON_METHODS:
+            tables[name].rows.append(rows[name][method])
+    return tables
+
+
+if __name__ == "__main__":
+    for table in run_fig11().values():
+        print(table)
+        print()

@@ -1,0 +1,42 @@
+"""Shared query construction for the query-quality experiments (6.3)."""
+
+from __future__ import annotations
+
+from repro.core.uncertain_graph import UncertainGraph
+from repro.experiments.common import ExperimentScale
+from repro.queries import (
+    ClusteringCoefficientQuery,
+    PageRankQuery,
+    ReliabilityQuery,
+    ShortestPathQuery,
+    sample_vertex_pairs,
+)
+
+QUERY_NAMES = ("PR", "SP", "RL", "CC")
+
+
+def build_queries(
+    graph: UncertainGraph,
+    scale: ExperimentScale,
+    seed: int = 41,
+    names: tuple[str, ...] = QUERY_NAMES,
+) -> dict[str, object]:
+    """The paper's four queries for one dataset.
+
+    PR and CC are evaluated on all vertices; SP and RL on
+    ``scale.query_pairs`` random vertex pairs — the paper's protocol
+    (section 6.3) at configurable scale.
+    """
+    n = graph.number_of_vertices()
+    queries: dict[str, object] = {}
+    if "SP" in names or "RL" in names:
+        pairs = sample_vertex_pairs(graph, scale.query_pairs, rng=seed)
+    if "PR" in names:
+        queries["PR"] = PageRankQuery(n)
+    if "SP" in names:
+        queries["SP"] = ShortestPathQuery(pairs)
+    if "RL" in names:
+        queries["RL"] = ReliabilityQuery(pairs)
+    if "CC" in names:
+        queries["CC"] = ClusteringCoefficientQuery(n)
+    return queries

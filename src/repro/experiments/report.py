@@ -1,0 +1,91 @@
+"""Full evaluation report: run every paper experiment in sequence.
+
+``python -m repro.experiments.report [tiny|small|paper] [output.txt]``
+
+Regenerates Table 2 and Figures 1, 4-12 at the requested scale, renders
+each as a table plus (where the paper uses a plot) an ASCII chart, and
+writes everything to stdout and optionally a file.  This is the
+"one-command reproduction" entry point; the per-figure benchmarks in
+``benchmarks/`` are the CI-friendly sliced version of the same runs.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import (
+    SCALES,
+    TINY,
+    render_chart,
+    run_fig01,
+    run_fig04a,
+    run_fig04b,
+    run_fig05,
+    run_fig06,
+    run_fig07,
+    run_fig08,
+    run_fig09,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_sample_budget,
+    run_table2,
+)
+from repro.experiments.common import ExperimentScale, ResultTable
+
+
+def _section(name: str) -> str:
+    bar = "=" * 72
+    return f"\n{bar}\n{name}\n{bar}"
+
+
+def generate_report(scale: ExperimentScale = TINY, chart: bool = True) -> str:
+    """Run every experiment; returns the full text report."""
+    parts: list[str] = [
+        f"Uncertain Graph Sparsification — full evaluation (scale={scale.name})",
+        time.strftime("generated %Y-%m-%d %H:%M:%S"),
+    ]
+
+    def add(name: str, *tables: ResultTable, plot: bool = chart) -> None:
+        parts.append(_section(name))
+        for table in tables:
+            parts.append(table.format())
+            if plot and len(table.headers) > 2:
+                parts.append(render_chart(table))
+            parts.append("")
+
+    add("Fig. 1 — introductory example", run_fig01(), plot=False)
+    add("Table 2 — variant sweep", run_table2(scale))
+    add("Fig. 4(a) — cut discrepancy", run_fig04a(scale))
+    add("Fig. 4(b) — LP/GDB/EMD time", run_fig04b(scale))
+    add("Fig. 5 — entropy parameter h", *run_fig05(scale))
+    for name, (degree, cuts) in run_fig06(scale).items():
+        add(f"Fig. 6 — structural comparison ({name})", degree, cuts)
+    add("Fig. 7 — error vs density", *run_fig07(scale))
+    add("Fig. 8 — relative entropy", *run_fig08(scale).values())
+    add("Fig. 9 — sparsification time", *run_fig09(scale).values())
+    for name, tables in run_fig10(scale).items():
+        add(f"Fig. 10 — query quality ({name})", *tables.values())
+    add("Fig. 11 — query quality vs density", *run_fig11(scale).values())
+    for name, tables in run_fig12(scale, alphas=(0.08, 0.32)).items():
+        add(f"Fig. 12 — relative variance ({name})", *tables.values())
+    add("Extension — measured sample budget N'/N",
+        run_sample_budget(scale), plot=False)
+
+    return "\n".join(parts)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    scale = SCALES.get(argv[0], TINY) if argv else TINY
+    report = generate_report(scale)
+    print(report)
+    if len(argv) > 1:
+        with open(argv[1], "w", encoding="utf-8") as fh:
+            fh.write(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

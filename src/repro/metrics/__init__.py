@@ -1,0 +1,29 @@
+"""Quality metrics used by the paper's evaluation (section 6).
+
+- :func:`~repro.metrics.earth_movers.earth_movers_distance` — Eq. 17,
+- :func:`~repro.metrics.structural.degree_discrepancy_mae` /
+  :func:`~repro.metrics.structural.sampled_cut_discrepancy_mae` —
+  structural preservation,
+- :func:`~repro.metrics.variance.relative_variance` — MC variance
+  protocol.
+"""
+
+from repro.metrics.earth_movers import earth_movers_distance, mean_earth_movers_distance
+from repro.metrics.structural import (
+    degree_discrepancy_mae,
+    relative_entropy,
+    sample_cut_sets,
+    sampled_cut_discrepancy_mae,
+)
+from repro.metrics.variance import VarianceComparison, relative_variance
+
+__all__ = [
+    "VarianceComparison",
+    "degree_discrepancy_mae",
+    "earth_movers_distance",
+    "mean_earth_movers_distance",
+    "relative_entropy",
+    "relative_variance",
+    "sample_cut_sets",
+    "sampled_cut_discrepancy_mae",
+]

@@ -1,0 +1,37 @@
+"""Query protocol for Monte-Carlo evaluation (paper section 6.3).
+
+A *query* maps one possible :class:`~repro.sampling.worlds.World` to a
+vector of per-unit outcomes — one entry per vertex (pagerank, clustering
+coefficient) or per vertex pair (shortest-path distance, reliability).
+Outcomes may be ``nan`` when undefined in that world (e.g. the distance
+of a disconnected pair), which the estimator machinery handles by
+exclusion, matching the paper's SP protocol.
+
+Queries are stateless with respect to worlds and reusable across graphs
+*with the same vertex indexing* (the sparsified graphs keep the vertex
+set, so one query object serves both ``G`` and ``G'``).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.sampling.worlds import World
+
+
+@runtime_checkable
+class Query(Protocol):
+    """Anything that evaluates a world into a per-unit outcome vector."""
+
+    #: human-readable name used in experiment tables
+    name: str
+
+    def evaluate(self, world: World) -> np.ndarray:
+        """Return the outcome vector (shape ``(units,)``, may contain nan)."""
+        ...
+
+    def unit_count(self) -> int:
+        """Number of evaluation units (vertices, pairs, or 1 for scalars)."""
+        ...

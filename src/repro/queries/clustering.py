@@ -1,0 +1,27 @@
+"""Clustering-coefficient query (paper section 6.3, query CC).
+
+Per-world local clustering coefficient of every vertex: the ratio of
+links among a vertex's neighbours to the maximum possible.  Vertices of
+degree < 2 score 0 in that world.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sampling.worlds import World
+
+
+class ClusteringCoefficientQuery:
+    """Per-vertex local clustering coefficients."""
+
+    name = "CC"
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+
+    def unit_count(self) -> int:
+        return self.n
+
+    def evaluate(self, world: World) -> np.ndarray:
+        return world.clustering_coefficients()

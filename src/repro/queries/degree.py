@@ -1,0 +1,27 @@
+"""Degree query — the structural sanity check.
+
+Per-world vertex degrees; their expectation equals the analytic expected
+degrees ``sum of incident probabilities``, which gives the estimator
+stack a closed-form target to validate against (used heavily in tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sampling.worlds import World
+
+
+class DegreeQuery:
+    """Per-vertex degree in each world."""
+
+    name = "DEG"
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+
+    def unit_count(self) -> int:
+        return self.n
+
+    def evaluate(self, world: World) -> np.ndarray:
+        return world.degrees().astype(np.float64)

@@ -1,0 +1,101 @@
+"""k-nearest-neighbour queries in uncertain graphs (Potamias et al. [32]).
+
+The paper borrows its spanner weight transform (``-log p``) from the
+k-NN-in-uncertain-graphs line of work, which defines distances under
+possible-world semantics.  Two standard notions are provided:
+
+- **majority distance** ``d_maj(u, v)``: the most probable shortest-path
+  distance over worlds (mode of the distance distribution, infinity
+  counted as a value), and
+- **median distance** ``d_med(u, v)``: the smallest ``d`` whose
+  cumulative world-probability reaches 1/2.
+
+Both are robust to the disconnection mass that breaks the naive
+"expected distance".  :class:`KNNQuery` returns the per-world distance
+vector from one source to all vertices; the estimator-side helpers
+aggregate a matrix of such outcomes into majority/median distances and
+a k-NN set — so the same MC machinery (and the same sparsified graphs)
+answer k-NN queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sampling.worlds import World
+
+#: Sentinel used in outcome matrices for "disconnected in this world".
+UNREACHABLE = np.inf
+
+
+class SourceDistanceQuery:
+    """Per-world BFS distances from a fixed source to every vertex.
+
+    Disconnected vertices score ``inf`` (a real outcome value for the
+    majority/median aggregations, unlike SP's nan-exclusion protocol).
+    """
+
+    name = "KNN"
+
+    def __init__(self, source: int, n: int) -> None:
+        self.source = source
+        self.n = n
+
+    def unit_count(self) -> int:
+        return self.n
+
+    def evaluate(self, world: World) -> np.ndarray:
+        dist = world.bfs_distances(self.source).astype(np.float64)
+        dist[dist < 0] = UNREACHABLE
+        return dist
+
+
+def majority_distances(outcomes: np.ndarray) -> np.ndarray:
+    """Mode of each vertex's distance distribution (ties -> smallest)."""
+    samples, n = outcomes.shape
+    result = np.empty(n, dtype=np.float64)
+    for j in range(n):
+        values, counts = np.unique(outcomes[:, j], return_counts=True)
+        result[j] = values[np.argmax(counts)]
+    return result
+
+
+def median_distances(outcomes: np.ndarray) -> np.ndarray:
+    """Median of each vertex's distance distribution (inf-aware)."""
+    return np.median(outcomes, axis=0)
+
+
+def k_nearest_neighbors(
+    outcomes: np.ndarray,
+    source: int,
+    k: int,
+    aggregate: str = "median",
+) -> list[int]:
+    """The ``k`` vertices closest to ``source`` under an aggregate distance.
+
+    Parameters
+    ----------
+    outcomes:
+        ``(samples, n)`` matrix from :class:`SourceDistanceQuery`.
+    source:
+        Source vertex id (excluded from its own neighbour list).
+    k:
+        Number of neighbours to return.
+    aggregate:
+        ``"median"`` (default) or ``"majority"``.
+
+    Ties are broken by vertex id for determinism.  Vertices whose
+    aggregate distance is infinite are never returned, so fewer than
+    ``k`` ids may come back on fragmented graphs.
+    """
+    if aggregate == "median":
+        distances = median_distances(outcomes)
+    elif aggregate == "majority":
+        distances = majority_distances(outcomes)
+    else:
+        raise ValueError(f"aggregate must be 'median' or 'majority', got {aggregate!r}")
+    order = sorted(
+        (float(d), v) for v, d in enumerate(distances)
+        if v != source and np.isfinite(d)
+    )
+    return [v for _, v in order[:k]]

@@ -1,0 +1,38 @@
+"""Two-terminal reliability query (paper section 6.3, query RL).
+
+Reliability of a pair is the probability that the two vertices are
+connected — the classic network-resilience metric.  The per-world
+outcome is the 0/1 reachability indicator of each pair; its expectation
+across worlds is the reliability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sampling.worlds import World
+
+
+class ReliabilityQuery:
+    """Per-pair reachability indicators (0/1)."""
+
+    name = "RL"
+
+    def __init__(self, pairs: list[tuple[int, int]]) -> None:
+        if not pairs:
+            raise ValueError("at least one vertex pair is required")
+        self.pairs = list(pairs)
+        self._by_source: dict[int, list[tuple[int, int]]] = {}
+        for idx, (s, t) in enumerate(self.pairs):
+            self._by_source.setdefault(s, []).append((idx, t))
+
+    def unit_count(self) -> int:
+        return len(self.pairs)
+
+    def evaluate(self, world: World) -> np.ndarray:
+        out = np.zeros(len(self.pairs))
+        for source, targets in self._by_source.items():
+            reach = world.reachable_from(source)
+            for idx, t in targets:
+                out[idx] = 1.0 if reach[t] else 0.0
+        return out

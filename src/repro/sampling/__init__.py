@@ -1,0 +1,47 @@
+"""Possible-world semantics: sampling, exact enumeration, estimation.
+
+- :class:`~repro.sampling.worlds.WorldSampler` /
+  :class:`~repro.sampling.worlds.World` — vectorised world sampling,
+- :mod:`~repro.sampling.exact` — exhaustive enumeration (Eq. 1),
+- :class:`~repro.sampling.monte_carlo.MonteCarloEstimator` — the MC
+  query engine + variance protocol,
+- :class:`~repro.sampling.stratified.StratifiedEstimator` — stratified
+  variant after [23].
+"""
+
+from repro.sampling.adaptive import AdaptiveResult, adaptive_estimate, samples_to_width
+from repro.sampling.exact import (
+    exact_connectivity_probability,
+    exact_expectation,
+    exact_query_probability,
+    exact_reliability,
+    iter_worlds,
+)
+from repro.sampling.monte_carlo import (
+    EstimationResult,
+    MonteCarloEstimator,
+    repeated_estimates,
+    required_sample_ratio,
+    unbiased_variance,
+)
+from repro.sampling.stratified import StratifiedEstimator
+from repro.sampling.worlds import World, WorldSampler
+
+__all__ = [
+    "AdaptiveResult",
+    "EstimationResult",
+    "adaptive_estimate",
+    "samples_to_width",
+    "MonteCarloEstimator",
+    "StratifiedEstimator",
+    "World",
+    "WorldSampler",
+    "exact_connectivity_probability",
+    "exact_expectation",
+    "exact_query_probability",
+    "exact_reliability",
+    "iter_worlds",
+    "repeated_estimates",
+    "required_sample_ratio",
+    "unbiased_variance",
+]

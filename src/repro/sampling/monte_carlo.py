@@ -1,0 +1,161 @@
+"""Monte-Carlo estimation framework (paper sections 1 and 6.3).
+
+:class:`MonteCarloEstimator` runs a query over ``N`` sampled worlds and
+returns the full ``(N, units)`` outcome matrix — the raw material for
+
+- point estimates (nan-mean per unit: the paper's query answers),
+- empirical outcome distributions (input to the earth mover's distance
+  quality metric, Eq. 17), and
+- the *variance protocol*: re-running the estimator ``R`` times with
+  independent randomness and reporting the unbiased variance of the
+  scalar estimates — the paper's footnote-10 "variance of G", which
+  drives its sample-complexity argument
+  ``N'/N = (sigma(G')/sigma(G))^2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.uncertain_graph import UncertainGraph
+from repro.exceptions import EstimationError
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.queries.base import Query
+from repro.sampling.worlds import WorldSampler
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+@dataclass(frozen=True)
+class EstimationResult:
+    """Output of one Monte-Carlo run.
+
+    Attributes
+    ----------
+    outcomes:
+        ``(n_samples, units)`` matrix of per-world outcomes (may contain
+        nan where a unit is undefined in a world — e.g. SP on a
+        disconnected pair).
+    """
+
+    outcomes: np.ndarray
+
+    @property
+    def n_samples(self) -> int:
+        return self.outcomes.shape[0]
+
+    def unit_estimates(self) -> np.ndarray:
+        """Per-unit nan-mean point estimates (nan for all-nan units)."""
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", category=RuntimeWarning)
+            return np.nanmean(self.outcomes, axis=0)
+
+    def scalar_estimate(self) -> float:
+        """Mean of the defined unit estimates (the Phi(G) of section 6.3)."""
+        units = self.unit_estimates()
+        defined = units[~np.isnan(units)]
+        if len(defined) == 0:
+            raise EstimationError("every unit was undefined in every sample")
+        return float(defined.mean())
+
+    def unit_standard_deviations(self) -> np.ndarray:
+        """Per-unit nan standard deviation of outcomes across worlds."""
+        with np.errstate(invalid="ignore"):
+            return np.nanstd(self.outcomes, axis=0, ddof=1)
+
+    def confidence_width(self, unit: int | None = None) -> float:
+        """95% CI width ``3.92 sigma / sqrt(N)`` (paper section 6.3).
+
+        With ``unit=None`` the scalar-summary width is returned.
+        """
+        if unit is None:
+            per_sample = np.array([
+                float(np.nanmean(row)) for row in self.outcomes
+            ])
+            sigma = float(np.nanstd(per_sample, ddof=1))
+            return 3.92 * sigma / np.sqrt(self.n_samples)
+        sigma = float(self.unit_standard_deviations()[unit])
+        n_defined = int(np.sum(~np.isnan(self.outcomes[:, unit])))
+        if n_defined == 0:
+            return float("nan")
+        return 3.92 * sigma / np.sqrt(n_defined)
+
+
+class MonteCarloEstimator:
+    """Evaluate a query on ``n_samples`` possible worlds of a graph.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph.
+    n_samples:
+        Number of worlds per run (the paper uses 500 for quality plots).
+
+    Examples
+    --------
+    >>> from repro.core import UncertainGraph
+    >>> from repro.queries import ReliabilityQuery
+    >>> g = UncertainGraph([(0, 1, 1.0), (1, 2, 1.0)])
+    >>> est = MonteCarloEstimator(g, n_samples=10)
+    >>> result = est.run(ReliabilityQuery([(0, 2)]), rng=0)
+    >>> float(result.scalar_estimate())
+    1.0
+    """
+
+    def __init__(self, graph: UncertainGraph, n_samples: int = 500) -> None:
+        if n_samples < 1:
+            raise EstimationError(f"n_samples must be positive, got {n_samples}")
+        self.graph = graph
+        self.n_samples = n_samples
+        self.sampler = WorldSampler(graph)
+
+    def run(self, query: "Query", rng: "int | np.random.Generator | None" = None) -> EstimationResult:
+        """One Monte-Carlo run: the ``(N, units)`` outcome matrix."""
+        rng = ensure_rng(rng)
+        outcomes = np.empty((self.n_samples, query.unit_count()), dtype=np.float64)
+        for i, world in enumerate(self.sampler.sample_many(self.n_samples, rng)):
+            outcomes[i] = query.evaluate(world)
+        return EstimationResult(outcomes=outcomes)
+
+    def estimate(self, query: "Query", rng: "int | np.random.Generator | None" = None) -> np.ndarray:
+        """Convenience: per-unit point estimates of one run."""
+        return self.run(query, rng=rng).unit_estimates()
+
+
+def repeated_estimates(
+    graph: UncertainGraph,
+    query: "Query",
+    runs: int = 100,
+    n_samples: int = 200,
+    rng: "int | np.random.Generator | None" = None,
+) -> np.ndarray:
+    """Variance protocol: ``runs`` independent scalar estimates Phi_i(G).
+
+    Paper section 6.3 re-runs each estimator 100 times and reports the
+    unbiased variance of the results.
+    """
+    generators = spawn_rngs(rng, runs)
+    estimator = MonteCarloEstimator(graph, n_samples=n_samples)
+    return np.array([
+        estimator.run(query, rng=g).scalar_estimate() for g in generators
+    ])
+
+
+def unbiased_variance(estimates: np.ndarray) -> float:
+    """``sigma-hat = sum (Phi_i - mean)^2 / (R - 1)`` (section 6.3)."""
+    estimates = np.asarray(estimates, dtype=np.float64)
+    if len(estimates) < 2:
+        raise EstimationError("variance needs at least two repeated estimates")
+    return float(np.var(estimates, ddof=1))
+
+
+def required_sample_ratio(variance_sparse: float, variance_original: float) -> float:
+    """``N'/N = (sigma(G')/sigma(G))^2`` — the sample-budget implication."""
+    if variance_original <= 0.0:
+        return float("inf") if variance_sparse > 0 else 1.0
+    return variance_sparse / variance_original

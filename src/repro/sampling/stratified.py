@@ -1,0 +1,93 @@
+"""Stratified possible-world sampling (after Li et al. [23], cited in 6.3).
+
+The paper's variance discussion leans on the recursive stratified
+sampling literature: conditioning a few high-entropy edges and
+allocating samples per stratum is an unbiased estimator with provably
+lower variance than plain Monte-Carlo.  We implement one recursion level
+(which is where most of the benefit is): the ``r`` highest-entropy edges
+define ``2^r`` strata; each stratum fixes those edges, samples the rest,
+and the estimates combine weighted by stratum probability.
+
+This serves two purposes in the repo: (a) an independently-implemented
+estimator to cross-check :class:`MonteCarloEstimator`, and (b) a
+demonstration that the paper's entropy-reduction goal and the stratified
+literature attack the same variance term from two directions.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.core.entropy import entropy_array
+from repro.core.uncertain_graph import UncertainGraph
+from repro.exceptions import EstimationError
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.queries.base import Query
+from repro.sampling.worlds import WorldSampler
+from repro.utils.rng import ensure_rng
+
+
+class StratifiedEstimator:
+    """One-level stratified Monte-Carlo estimator.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph.
+    n_samples:
+        Total sample budget across strata.
+    r:
+        Number of conditioned edges (``2^r`` strata); the ``r`` edges
+        with the highest binary entropy are chosen, following [23]'s
+        heuristic of stratifying where the uncertainty is.
+    """
+
+    def __init__(self, graph: UncertainGraph, n_samples: int = 500, r: int = 4) -> None:
+        if r < 0 or r > 12:
+            raise EstimationError(f"r must be in [0, 12], got {r}")
+        if n_samples < 2 ** r:
+            raise EstimationError(
+                f"budget {n_samples} cannot cover 2^{r} strata"
+            )
+        self.graph = graph
+        self.n_samples = n_samples
+        self.r = r
+        self.sampler = WorldSampler(graph)
+        entropies = entropy_array(self.sampler.probabilities)
+        self.conditioned = np.argsort(-entropies)[:r]
+
+    def _stratum_probability(self, assignment: tuple[bool, ...]) -> float:
+        p = self.sampler.probabilities[self.conditioned]
+        probability = 1.0
+        for keep, pe in zip(assignment, p):
+            probability *= pe if keep else (1.0 - pe)
+        return probability
+
+    def run(self, query: "Query", rng: "int | np.random.Generator | None" = None) -> float:
+        """Stratified scalar estimate of the query."""
+        rng = ensure_rng(rng)
+        total = 0.0
+        assignments = list(itertools.product((False, True), repeat=self.r))
+        weights = np.array([self._stratum_probability(a) for a in assignments])
+        # Proportional allocation with at least 1 sample per non-null stratum.
+        allocation = np.maximum(1, np.rint(weights * self.n_samples).astype(int))
+        for assignment, weight, budget in zip(assignments, weights, allocation):
+            if weight == 0.0:
+                continue
+            stratum_values = np.empty(budget, dtype=np.float64)
+            for i in range(budget):
+                mask = self.sampler.sample_mask(rng)
+                mask[self.conditioned] = assignment
+                world = self.sampler.world_from_mask(mask)
+                outcome = query.evaluate(world)
+                defined = outcome[~np.isnan(outcome)]
+                stratum_values[i] = defined.mean() if len(defined) else np.nan
+            defined_values = stratum_values[~np.isnan(stratum_values)]
+            if len(defined_values) == 0:
+                continue
+            total += weight * float(defined_values.mean())
+        return total

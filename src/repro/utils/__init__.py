@@ -1,0 +1,26 @@
+"""Small self-contained data structures and numeric helpers.
+
+Contents
+--------
+- :class:`repro.utils.heap.IndexedMaxHeap` — binary max-heap with
+  update-key, the structure behind EMD's vertex heap (paper section 4.3).
+- :class:`repro.utils.unionfind.UnionFind` — disjoint sets with union by
+  rank and path compression, used by every spanning-forest routine.
+- :func:`repro.utils.binomials.binomial_prefix_sum` — the paper's
+  Sigma-binomial enumeration function (section 5).
+- :func:`repro.utils.rng.ensure_rng` — normalises seeds / generators.
+"""
+
+from repro.utils.binomials import binomial_prefix_sum, cut_rule_coefficients
+from repro.utils.heap import IndexedMaxHeap
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.unionfind import UnionFind
+
+__all__ = [
+    "IndexedMaxHeap",
+    "UnionFind",
+    "binomial_prefix_sum",
+    "cut_rule_coefficients",
+    "ensure_rng",
+    "spawn_rngs",
+]

@@ -1,0 +1,89 @@
+"""The paper's Sigma-binomial enumeration function (section 5).
+
+The general cut-preservation rule (Eq. 14) weights the degree
+discrepancies against the global edge discrepancy with ratios of
+
+.. math::
+
+    \\binom{n}{k}_\\Sigma = \\sum_{i=0}^{k} \\binom{n}{i}
+
+These sums explode combinatorially, but only their *ratios* enter the
+update rule and the ratios depend only on ``(n, k)`` — never on the edge.
+We therefore evaluate them once per sparsification run with exact Python
+integers and convert the two required ratios to floats through
+:class:`fractions.Fraction`, which is exact for arbitrarily large
+integers.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from functools import lru_cache
+
+
+def binomial_prefix_sum(n: int, k: int) -> int:
+    """Return ``sum_{i=0}^{k} C(n, i)``, the paper's ``(n over k)_Sigma``.
+
+    Follows the paper's convention: the value is 0 whenever ``k < 0``.
+    ``k`` is truncated to ``n`` (all terms beyond ``i = n`` vanish), and
+    ``n < 0`` is rejected.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if k < 0:
+        return 0
+    k = min(k, n)
+    total = 0
+    term = 1  # C(n, 0)
+    for i in range(k + 1):
+        total += term
+        term = term * (n - i) // (i + 1)  # C(n, i+1) from C(n, i)
+    return total
+
+
+@lru_cache(maxsize=1024)
+def cut_rule_coefficients(n: int, k: int) -> tuple[float, float]:
+    """Pre-compute the two float coefficients of the Eq. (14) update rule.
+
+    Equation (14) sets the gradient step for edge ``e = (u, v)`` to::
+
+        stp = [ S(n-3, k-1) * (delta(u) + delta(v)) + 4 * S(n-4, k-2) * Delta(e) ]
+              / (2 * S(n-2, k-1))
+
+    where ``S`` is :func:`binomial_prefix_sum`.  This function returns
+    the pair ``(degree_coeff, global_coeff)`` with::
+
+        degree_coeff = S(n-3, k-1) / (2 * S(n-2, k-1))
+        global_coeff = 4 * S(n-4, k-2) / (2 * S(n-2, k-1))
+
+    For ``k = 1`` the pair is exactly ``(0.5, 0.0)`` — Eq. (9).
+    For ``k = 2`` it is ``((n-2)/(2n-2), 4/(2n-2))`` — Eq. (15).
+
+    Parameters
+    ----------
+    n:
+        Number of vertices; must be at least 3 so that the denominator
+        ``S(n-2, k-1)`` is positive.
+    k:
+        Maximum cut cardinality to preserve, ``1 <= k``.
+    """
+    if n < 3:
+        raise ValueError(f"cut rule requires at least 3 vertices, got n={n}")
+    if k < 1:
+        raise ValueError(f"cut cardinality k must be >= 1, got {k}")
+    denominator = 2 * binomial_prefix_sum(n - 2, k - 1)
+    degree_numerator = binomial_prefix_sum(n - 3, k - 1)
+    global_numerator = 4 * binomial_prefix_sum(max(n - 4, 0), k - 2)
+    degree_coeff = float(Fraction(degree_numerator, denominator))
+    global_coeff = float(Fraction(global_numerator, denominator))
+    return degree_coeff, global_coeff
+
+
+def log_binomial(n: int, k: int) -> float:
+    """Natural log of ``C(n, k)`` via lgamma (handy for diagnostics)."""
+    if k < 0 or k > n:
+        return float("-inf")
+    return (
+        math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+    )

@@ -1,0 +1,42 @@
+"""Random-number-generator plumbing.
+
+Every stochastic routine in the package accepts either a seed, an
+existing :class:`numpy.random.Generator`, or ``None`` (fresh entropy).
+This module centralises that normalisation so experiment scripts can fix
+a single integer seed and get reproducible tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(rng: "int | np.random.Generator | None" = None) -> np.random.Generator:
+    """Normalise ``rng`` into a :class:`numpy.random.Generator`.
+
+    - ``None`` → a fresh generator seeded from OS entropy,
+    - an ``int`` → ``np.random.default_rng(seed)``,
+    - a ``Generator`` → returned unchanged.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"expected seed, Generator or None, got {type(rng).__name__}")
+
+
+def spawn_rngs(rng: "int | np.random.Generator | None", count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``rng``.
+
+    Used by the variance protocol (paper section 6.3), where the same
+    estimator is re-run many times with independent randomness.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    parent = ensure_rng(rng)
+    seeds = parent.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(seed)) for seed in seeds]

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import UncertainGraph
+from repro.datasets import figure1_graph, flickr_like, twitter_like
+
+
+@pytest.fixture
+def triangle() -> UncertainGraph:
+    """3-cycle with distinct probabilities."""
+    return UncertainGraph([("a", "b", 0.5), ("b", "c", 0.25), ("a", "c", 1.0)])
+
+
+@pytest.fixture
+def path4() -> UncertainGraph:
+    """4-vertex path 0-1-2-3."""
+    return UncertainGraph([(0, 1, 0.9), (1, 2, 0.8), (2, 3, 0.7)])
+
+
+@pytest.fixture
+def figure1() -> UncertainGraph:
+    """The paper's Fig. 1(a): K4 at probability 0.3."""
+    return figure1_graph()
+
+
+@pytest.fixture
+def small_power_law() -> UncertainGraph:
+    """Small Flickr-style proxy used across algorithm tests."""
+    return flickr_like(n=60, avg_degree=12, seed=5)
+
+
+@pytest.fixture
+def small_sparse() -> UncertainGraph:
+    """Small Twitter-style proxy."""
+    return twitter_like(n=60, avg_degree=8, seed=6)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

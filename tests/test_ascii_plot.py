@@ -1,0 +1,56 @@
+"""ASCII chart rendering."""
+
+from repro.experiments import render_chart
+from repro.experiments.common import ResultTable
+
+
+def make_table(rows):
+    table = ResultTable(title="demo", headers=["m", "8%", "16%", "32%"])
+    for row in rows:
+        table.add_row(*row)
+    return table
+
+
+def test_contains_title_axis_and_legend():
+    chart = render_chart(make_table([("NI", 1.0, 0.5, 0.25)]))
+    assert "demo" in chart
+    assert "o=NI" in chart
+    assert "8%" in chart
+
+
+def test_log_scale_for_wide_ranges():
+    chart = render_chart(make_table([("a", 1e-6, 1e-3, 1.0)]))
+    assert "y[log]" in chart
+
+
+def test_linear_scale_for_narrow_ranges():
+    chart = render_chart(make_table([("a", 1.0, 1.5, 2.0)]))
+    assert "y[lin]" in chart
+
+
+def test_multiple_series_distinct_markers():
+    chart = render_chart(
+        make_table([("first", 1.0, 2.0, 3.0), ("second", 3.0, 2.0, 1.0)])
+    )
+    assert "o=first" in chart and "x=second" in chart
+
+
+def test_collisions_marked():
+    chart = render_chart(
+        make_table([("a", 1.0, 2.0, 4.0), ("b", 1.0, 2.0, 4.0)])
+    )
+    assert "!" in chart  # identical series overlap everywhere
+
+
+def test_all_nonpositive_degrades_gracefully():
+    chart = render_chart(make_table([("a", 0.0, 0.0, 0.0)]))
+    assert "non-positive" in chart
+
+
+def test_custom_title_and_height():
+    chart = render_chart(make_table([("a", 1.0, 10.0, 100.0)]),
+                         height=5, title="custom")
+    assert chart.splitlines()[0] == "custom"
+    # 5 grid rows between the header lines and the axis.
+    grid_rows = [line for line in chart.splitlines() if line.startswith("|")]
+    assert len(grid_rows) == 5

@@ -1,0 +1,91 @@
+"""Sigma-binomial enumeration function and the Eq. 14 coefficients."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.binomials import (
+    binomial_prefix_sum,
+    cut_rule_coefficients,
+    log_binomial,
+)
+
+
+def test_negative_k_is_zero():
+    assert binomial_prefix_sum(10, -1) == 0
+    assert binomial_prefix_sum(10, -5) == 0
+
+
+def test_k_zero_is_one():
+    assert binomial_prefix_sum(10, 0) == 1
+
+
+def test_small_values_by_hand():
+    # sum_{i<=2} C(5, i) = 1 + 5 + 10
+    assert binomial_prefix_sum(5, 2) == 16
+    assert binomial_prefix_sum(4, 1) == 5
+    assert binomial_prefix_sum(3, 3) == 8  # 2^3
+
+
+def test_full_sum_is_power_of_two():
+    for n in (1, 5, 12, 30):
+        assert binomial_prefix_sum(n, n) == 2 ** n
+
+
+def test_k_beyond_n_truncates():
+    assert binomial_prefix_sum(4, 100) == 16
+
+
+def test_negative_n_rejected():
+    with pytest.raises(ValueError):
+        binomial_prefix_sum(-1, 2)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 60), st.integers(0, 60))
+def test_property_matches_direct_sum(n, k):
+    expected = sum(math.comb(n, i) for i in range(min(k, n) + 1))
+    assert binomial_prefix_sum(n, k) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 50), st.integers(0, 50))
+def test_property_monotone_in_k(n, k):
+    assert binomial_prefix_sum(n, k + 1) >= binomial_prefix_sum(n, k)
+
+
+def test_cut_rule_k1_reduces_to_equation_9():
+    degree_coeff, global_coeff = cut_rule_coefficients(100, 1)
+    assert degree_coeff == pytest.approx(0.5)
+    assert global_coeff == 0.0
+
+
+def test_cut_rule_k2_reduces_to_equation_15():
+    n = 37
+    degree_coeff, global_coeff = cut_rule_coefficients(n, 2)
+    assert degree_coeff == pytest.approx((n - 2) / (2 * n - 2))
+    assert global_coeff == pytest.approx(4 / (2 * n - 2))
+
+
+def test_cut_rule_large_n_no_overflow():
+    degree_coeff, global_coeff = cut_rule_coefficients(100_000, 50)
+    assert 0.0 < degree_coeff <= 0.5
+    assert 0.0 <= global_coeff < 1.0
+
+
+def test_cut_rule_requires_three_vertices():
+    with pytest.raises(ValueError):
+        cut_rule_coefficients(2, 1)
+
+
+def test_cut_rule_requires_positive_k():
+    with pytest.raises(ValueError):
+        cut_rule_coefficients(10, 0)
+
+
+def test_log_binomial_matches_math_comb():
+    assert log_binomial(20, 7) == pytest.approx(math.log(math.comb(20, 7)))
+    assert log_binomial(5, -1) == float("-inf")
+    assert log_binomial(5, 6) == float("-inf")

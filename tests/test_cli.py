@@ -1,0 +1,137 @@
+"""CLI: sparsify / info / compare / variants subcommands."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import read_edge_list, twitter_like, write_edge_list
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "graph.txt"
+    write_edge_list(twitter_like(n=60, avg_degree=10, seed=1), path)
+    return path
+
+
+def test_sparsify_writes_output(graph_file, tmp_path, capsys):
+    out = tmp_path / "sparse.txt"
+    code = main([
+        "sparsify", str(graph_file), str(out),
+        "--alpha", "0.4", "--variant", "GDB^A", "--seed", "0",
+    ])
+    assert code == 0
+    sparsified = read_edge_list(out)
+    original = read_edge_list(graph_file)
+    assert sparsified.number_of_edges() == round(0.4 * original.number_of_edges())
+    assert "H ratio" in capsys.readouterr().out
+
+
+def test_sparsify_default_variant(graph_file, tmp_path):
+    out = tmp_path / "sparse.txt"
+    assert main(["sparsify", str(graph_file), str(out), "--alpha", "0.3"]) == 0
+
+
+def test_sparsify_bad_variant_fails(graph_file, tmp_path, capsys):
+    out = tmp_path / "sparse.txt"
+    with pytest.raises(ValueError):
+        main([
+            "sparsify", str(graph_file), str(out),
+            "--alpha", "0.4", "--variant", "NOPE",
+        ])
+
+
+def test_info(graph_file, capsys):
+    assert main(["info", str(graph_file)]) == 0
+    output = capsys.readouterr().out
+    assert "vertices:" in output
+    assert "entropy (bits):" in output
+
+
+def test_info_missing_file_returns_error(tmp_path, capsys):
+    assert main(["info", str(tmp_path / "missing.txt")]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_compare(graph_file, tmp_path, capsys):
+    out = tmp_path / "sparse.txt"
+    main(["sparsify", str(graph_file), str(out), "--alpha", "0.4", "--seed", "1"])
+    capsys.readouterr()
+    assert main(["compare", str(graph_file), str(out)]) == 0
+    output = capsys.readouterr().out
+    assert "degree MAE" in output
+    assert "relative entropy" in output
+
+
+def test_variants_lists_all(capsys):
+    assert main(["variants"]) == 0
+    output = capsys.readouterr().out
+    assert "EMD^R-t" in output
+    assert "NI" in output
+
+
+def test_no_command_exits():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("family", ["flickr", "twitter", "grid", "er"])
+    def test_families(self, family, tmp_path, capsys):
+        out = tmp_path / "g.txt"
+        assert main(["generate", family, str(out), "--n", "50", "--seed", "1"]) == 0
+        graph = read_edge_list(out)
+        assert graph.number_of_edges() > 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_custom_avg_degree(self, tmp_path):
+        out = tmp_path / "g.txt"
+        main(["generate", "er", str(out), "--n", "40", "--avg-degree", "10",
+              "--seed", "2"])
+        assert read_edge_list(out).number_of_edges() == 200
+
+    def test_deterministic_seed(self, tmp_path):
+        a, b = tmp_path / "a.txt", tmp_path / "b.txt"
+        main(["generate", "twitter", str(a), "--n", "40", "--seed", "9"])
+        main(["generate", "twitter", str(b), "--n", "40", "--seed", "9"])
+        assert a.read_text() == b.read_text()
+
+
+class TestEstimate:
+    @pytest.mark.parametrize(
+        "query", ["reliability", "distance", "pagerank", "clustering",
+                  "connectivity"],
+    )
+    def test_queries(self, query, graph_file, capsys):
+        code = main([
+            "estimate", str(graph_file), "--query", query,
+            "--samples", "30", "--pairs", "10",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "scalar estimate:" in output
+        assert "CI width" in output
+
+    def test_reliability_on_deterministic_path(self, tmp_path, capsys):
+        path = tmp_path / "p.txt"
+        path.write_text("a b 1.0\nb c 1.0\n")
+        main(["estimate", str(path), "--query", "reliability",
+              "--samples", "20", "--pairs", "3"])
+        output = capsys.readouterr().out
+        assert "scalar estimate:  1.000000" in output
+
+
+class TestDiagnose:
+    def test_diagnose_output(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "sparse.txt"
+        main(["sparsify", str(graph_file), str(out), "--alpha", "0.4",
+              "--seed", "0"])
+        capsys.readouterr()
+        assert main(["diagnose", str(graph_file), str(out)]) == 0
+        output = capsys.readouterr().out
+        assert "saturated edges" in output
+        assert "entropy ratio" in output
+
+    def test_diagnose_missing_file(self, graph_file, tmp_path, capsys):
+        assert main(["diagnose", str(graph_file),
+                     str(tmp_path / "none.txt")]) == 1
+        assert "error:" in capsys.readouterr().err

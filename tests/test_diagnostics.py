@@ -1,0 +1,61 @@
+"""Sparsification diagnostics report."""
+
+import pytest
+
+from repro.core import UncertainGraph, sparsify
+from repro.core.diagnostics import analyze_sparsification
+
+
+def test_identity_report(small_power_law):
+    report = analyze_sparsification(small_power_law, small_power_law)
+    assert report.edge_ratio == pytest.approx(1.0)
+    assert report.entropy_ratio == pytest.approx(1.0)
+    assert report.mass_ratio == pytest.approx(1.0)
+    assert report.degree_mae == 0.0
+    assert report.largest_component_fraction == 1.0
+
+
+def test_edge_ratio_matches_alpha(small_power_law):
+    sparsified = sparsify(small_power_law, 0.4, variant="GDB^A-t", rng=0)
+    report = analyze_sparsification(small_power_law, sparsified)
+    assert report.edge_ratio == pytest.approx(0.4, abs=0.01)
+
+
+def test_gdb_saturates_more_edges_than_spanner(small_sparse):
+    """The paper's 6.3 observation: at a budget below the expected edge
+    count, redistribution drives many GDB edges to probability 1; SP
+    keeps the original (low) probabilities."""
+    # alpha = 0.1 < E[p] = 0.15: the missing mass exceeds the budget.
+    via_gdb = sparsify(small_sparse, 0.1, variant="GDB^A", rng=0)
+    via_sp = sparsify(small_sparse, 0.1, variant="SP", rng=0)
+    gdb_report = analyze_sparsification(small_sparse, via_gdb)
+    sp_report = analyze_sparsification(small_sparse, via_sp)
+    assert gdb_report.saturated_fraction > 0.5
+    assert gdb_report.saturated_fraction > sp_report.saturated_fraction
+    assert gdb_report.entropy_ratio < sp_report.entropy_ratio
+
+
+def test_mass_ratio_reflects_redistribution(small_power_law):
+    """GDB recovers (nearly) all probability mass at moderate alpha; the
+    random baseline keeps only ~alpha of it."""
+    via_gdb = sparsify(small_power_law, 0.5, variant="GDB^A-t", rng=0)
+    via_random = sparsify(small_power_law, 0.5, variant="RANDOM", rng=0)
+    gdb_report = analyze_sparsification(small_power_law, via_gdb)
+    random_report = analyze_sparsification(small_power_law, via_random)
+    assert gdb_report.mass_ratio > 0.95
+    assert random_report.mass_ratio < 0.85
+
+
+def test_near_zero_fraction():
+    g = UncertainGraph([(0, 1, 0.5), (1, 2, 0.5)])
+    shrunk = g.subgraph_with_edges([(0, 1, 1e-12), (1, 2, 0.9)])
+    report = analyze_sparsification(g, shrunk)
+    assert report.near_zero_fraction == pytest.approx(0.5)
+
+
+def test_format_contains_every_line(small_power_law):
+    sparsified = sparsify(small_power_law, 0.4, variant="EMD^R-t", rng=0)
+    text = analyze_sparsification(small_power_law, sparsified).format()
+    for fragment in ("edge ratio", "saturated", "entropy ratio",
+                     "degree MAE", "largest component"):
+        assert fragment in text

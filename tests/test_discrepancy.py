@@ -1,0 +1,196 @@
+"""Discrepancy vectors, objectives and SparsificationState bookkeeping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    SparsificationState,
+    UncertainGraph,
+    cut_discrepancy,
+    d1_objective,
+    degree_discrepancy_vector,
+    delta_1,
+)
+from repro.datasets import flickr_like
+from repro.exceptions import GraphError
+
+
+def make_sparsified(graph, keep_fraction=0.5, new_p=None):
+    edges = list(graph.edges())
+    kept = edges[: max(1, int(len(edges) * keep_fraction))]
+    if new_p is not None:
+        kept = [(u, v, new_p) for u, v, _ in kept]
+    return graph.subgraph_with_edges(kept)
+
+
+class TestDiscrepancyFunctions:
+    def test_identity_has_zero_discrepancy(self, triangle):
+        deltas = degree_discrepancy_vector(triangle, triangle)
+        assert np.allclose(deltas, 0.0)
+        assert delta_1(triangle, triangle) == 0.0
+        assert d1_objective(triangle, triangle) == 0.0
+
+    def test_removing_edges_creates_positive_delta(self, triangle):
+        sub = triangle.subgraph_with_edges([("a", "b", 0.5)])
+        deltas = degree_discrepancy_vector(triangle, sub)
+        assert np.all(deltas >= 0)
+        assert delta_1(triangle, sub) == pytest.approx(2 * (0.25 + 1.0))
+
+    def test_relative_variant_scales_by_degree(self, triangle):
+        sub = triangle.subgraph_with_edges([("a", "b", 0.5)])
+        absolute = degree_discrepancy_vector(triangle, sub)
+        relative = degree_discrepancy_vector(triangle, sub, relative=True)
+        indexer = triangle.vertex_indexer()
+        for vertex, idx in indexer.items():
+            d = triangle.expected_degree(vertex)
+            assert relative[idx] == pytest.approx(absolute[idx] / d)
+
+    def test_vertex_set_mismatch_raises(self, triangle):
+        other = UncertainGraph([("a", "b", 0.5)])
+        with pytest.raises(GraphError):
+            degree_discrepancy_vector(triangle, other)
+
+    def test_cut_discrepancy_singleton_is_degree_delta(self, triangle):
+        sub = make_sparsified(triangle)
+        expected = triangle.expected_degree("a") - sub.expected_degree("a")
+        assert cut_discrepancy(triangle, sub, ["a"]) == pytest.approx(expected)
+
+    def test_cut_discrepancy_relative(self, triangle):
+        sub = make_sparsified(triangle)
+        absolute = cut_discrepancy(triangle, sub, ["a", "b"])
+        relative = cut_discrepancy(triangle, sub, ["a", "b"], relative=True)
+        assert relative == pytest.approx(
+            absolute / triangle.expected_cut_size(["a", "b"])
+        )
+
+    def test_d1_is_sum_of_squares(self, triangle):
+        sub = make_sparsified(triangle)
+        deltas = degree_discrepancy_vector(triangle, sub)
+        assert d1_objective(triangle, sub) == pytest.approx(float(np.sum(deltas**2)))
+
+
+class TestSparsificationState:
+    def test_initial_state_all_missing(self, triangle):
+        state = SparsificationState(triangle)
+        assert state.edge_count() == 0
+        assert np.allclose(state.delta, state.original_degrees)
+        assert state.total_residual == pytest.approx(
+            triangle.expected_number_of_edges()
+        )
+
+    def test_select_all_edges_zero_delta(self, triangle):
+        state = SparsificationState(triangle)
+        for eid in range(state.m):
+            state.select_edge(eid)
+        assert np.allclose(state.delta, 0.0)
+        assert state.total_residual == pytest.approx(0.0)
+        state.verify()
+
+    def test_select_with_custom_probability(self, triangle):
+        state = SparsificationState(triangle)
+        state.select_edge(0, probability=0.1)
+        u, v = state.endpoints(0)
+        assert state.delta[u] == pytest.approx(state.original_degrees[u] - 0.1)
+        state.verify()
+
+    def test_double_select_raises(self, triangle):
+        state = SparsificationState(triangle)
+        state.select_edge(0)
+        with pytest.raises(GraphError):
+            state.select_edge(0)
+
+    def test_deselect_returns_probability(self, triangle):
+        state = SparsificationState(triangle)
+        state.select_edge(0, probability=0.4)
+        assert state.deselect_edge(0) == pytest.approx(0.4)
+        assert not state.selected[0]
+        state.verify()
+
+    def test_deselect_unselected_raises(self, triangle):
+        state = SparsificationState(triangle)
+        with pytest.raises(GraphError):
+            state.deselect_edge(0)
+
+    def test_set_probability_updates_delta(self, triangle):
+        state = SparsificationState(triangle)
+        state.select_edge(0)
+        u, v = state.endpoints(0)
+        before_u = state.delta[u]
+        old_p = state.phat[0]
+        state.set_probability(0, 1.0)
+        assert state.delta[u] == pytest.approx(before_u - (1.0 - old_p))
+        state.verify()
+
+    def test_set_probability_unselected_raises(self, triangle):
+        state = SparsificationState(triangle)
+        with pytest.raises(GraphError):
+            state.set_probability(0, 0.5)
+
+    def test_residual_excluding_matches_bruteforce(self, small_power_law):
+        state = SparsificationState(small_power_law)
+        rng = np.random.default_rng(3)
+        chosen = rng.choice(state.m, size=state.m // 2, replace=False)
+        for eid in chosen:
+            state.select_edge(int(eid), probability=float(rng.uniform(0.1, 1.0)))
+        for eid in [0, int(chosen[0]), state.m - 1]:
+            u, v = state.endpoints(eid)
+            brute = 0.0
+            for other in range(state.m):
+                ou, ov = state.endpoints(other)
+                if ou in (u, v) or ov in (u, v):
+                    continue
+                brute += state.p_original[other] - state.phat[other]
+            assert state.residual_excluding(eid) == pytest.approx(brute)
+
+    def test_residual_excluding_edge_only(self, triangle):
+        state = SparsificationState(triangle)
+        state.select_edge(0, probability=0.2)
+        expected = state.total_residual - (state.p_original[0] - 0.2)
+        assert state.residual_excluding_edge_only(0) == pytest.approx(expected)
+
+    def test_d1_matches_function(self, small_power_law):
+        state = SparsificationState(small_power_law)
+        for eid in range(0, state.m, 2):
+            state.select_edge(eid)
+        built = state.build_graph()
+        assert state.d1() == pytest.approx(
+            d1_objective(small_power_law, built), rel=1e-6
+        )
+
+    def test_d1_relative_matches_function(self, small_power_law):
+        state = SparsificationState(small_power_law)
+        for eid in range(0, state.m, 3):
+            state.select_edge(eid)
+        built = state.build_graph()
+        assert state.d1(relative=True) == pytest.approx(
+            d1_objective(small_power_law, built, relative=True), rel=1e-6
+        )
+
+    def test_build_graph_budget(self, small_power_law):
+        state = SparsificationState(small_power_law)
+        ids = list(range(0, state.m, 4))
+        for eid in ids:
+            state.select_edge(eid)
+        built = state.build_graph()
+        assert built.number_of_edges() == len(ids)
+        assert set(built.vertices()) == set(small_power_law.vertices())
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_state_invariants_after_random_ops(seed):
+    graph = flickr_like(n=30, avg_degree=6, seed=seed % 7)
+    state = SparsificationState(graph)
+    rng = np.random.default_rng(seed)
+    for _ in range(200):
+        eid = int(rng.integers(0, state.m))
+        if state.selected[eid]:
+            if rng.random() < 0.5:
+                state.deselect_edge(eid)
+            else:
+                state.set_probability(eid, float(rng.uniform(0, 1)))
+        else:
+            state.select_edge(eid, probability=float(rng.uniform(0, 1)))
+    state.verify()

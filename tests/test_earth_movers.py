@@ -1,0 +1,98 @@
+"""Earth mover's distance (Eq. 17) vs scipy's Wasserstein distance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.stats import wasserstein_distance
+
+from repro.metrics import earth_movers_distance, mean_earth_movers_distance
+
+
+class TestScalarEMD:
+    def test_identical_samples_zero(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert earth_movers_distance(x, x) == 0.0
+
+    def test_constant_shift(self):
+        a = np.array([0.0, 1.0, 2.0])
+        b = a + 5.0
+        assert earth_movers_distance(a, b) == pytest.approx(5.0)
+
+    def test_symmetry(self):
+        a = np.array([0.0, 1.0, 4.0])
+        b = np.array([2.0, 2.0, 5.0])
+        assert earth_movers_distance(a, b) == pytest.approx(
+            earth_movers_distance(b, a)
+        )
+
+    def test_single_point_masses(self):
+        assert earth_movers_distance([0.0], [3.0]) == pytest.approx(3.0)
+
+    def test_degenerate_identical_support(self):
+        assert earth_movers_distance([2.0, 2.0], [2.0]) == 0.0
+
+    def test_nan_entries_dropped(self):
+        a = np.array([1.0, np.nan, 3.0])
+        b = np.array([1.0, 3.0])
+        assert earth_movers_distance(a, b) == pytest.approx(
+            earth_movers_distance([1.0, 3.0], b)
+        )
+
+    def test_all_nan_gives_nan(self):
+        assert np.isnan(earth_movers_distance([np.nan], [1.0]))
+
+    def test_bernoulli_distance_is_mean_gap(self):
+        """For 0/1 outcomes (RL query) D_em = |p1 - p2|."""
+        a = np.array([1.0] * 7 + [0.0] * 3)
+        b = np.array([1.0] * 4 + [0.0] * 6)
+        assert earth_movers_distance(a, b) == pytest.approx(0.3)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        a=st.lists(st.floats(min_value=-50, max_value=50), min_size=1, max_size=40),
+        b=st.lists(st.floats(min_value=-50, max_value=50), min_size=1, max_size=40),
+    )
+    def test_property_matches_scipy(self, a, b):
+        ours = earth_movers_distance(np.array(a), np.array(b))
+        scipy_value = wasserstein_distance(a, b)
+        assert ours == pytest.approx(scipy_value, abs=1e-9, rel=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        a=st.lists(st.floats(min_value=-10, max_value=10), min_size=1, max_size=20),
+        b=st.lists(st.floats(min_value=-10, max_value=10), min_size=1, max_size=20),
+        c=st.lists(st.floats(min_value=-10, max_value=10), min_size=1, max_size=20),
+    )
+    def test_property_triangle_inequality(self, a, b, c):
+        ab = earth_movers_distance(np.array(a), np.array(b))
+        bc = earth_movers_distance(np.array(b), np.array(c))
+        ac = earth_movers_distance(np.array(a), np.array(c))
+        assert ac <= ab + bc + 1e-6
+
+
+class TestMatrixEMD:
+    def test_per_unit_average(self):
+        a = np.array([[0.0, 0.0], [1.0, 2.0]])
+        b = np.array([[0.0, 1.0], [1.0, 3.0]])
+        expected = (
+            earth_movers_distance(a[:, 0], b[:, 0])
+            + earth_movers_distance(a[:, 1], b[:, 1])
+        ) / 2
+        assert mean_earth_movers_distance(a, b) == pytest.approx(expected)
+
+    def test_all_nan_unit_skipped(self):
+        a = np.array([[0.0, np.nan], [1.0, np.nan]])
+        b = np.array([[0.0, 1.0], [1.0, 2.0]])
+        assert mean_earth_movers_distance(a, b) == pytest.approx(
+            earth_movers_distance(a[:, 0], b[:, 0])
+        )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mean_earth_movers_distance(np.zeros((3, 2)), np.zeros((3, 4)))
+
+    def test_different_sample_counts_allowed(self):
+        a = np.zeros((10, 2))
+        b = np.ones((5, 2))
+        assert mean_earth_movers_distance(a, b) == pytest.approx(1.0)

@@ -1,0 +1,78 @@
+"""Effective-resistance (spectral) sparsifier baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import effective_resistance_sparsify, effective_resistances
+from repro.core import UncertainGraph, sparsify
+from repro.core.backbone import target_edge_count
+from repro.datasets import flickr_like
+
+
+class TestEffectiveResistances:
+    def test_single_edge_is_inverse_weight(self):
+        g = UncertainGraph([(0, 1, 0.5)])
+        r = effective_resistances(g)
+        assert r[0] == pytest.approx(1 / 0.5)
+
+    def test_series_resistors_add(self):
+        # Path 0-1-2 with conductances 0.5 and 0.25: R(0,1) = 2, R(1,2) = 4.
+        g = UncertainGraph([(0, 1, 0.5), (1, 2, 0.25)])
+        r = effective_resistances(g)
+        by_edge = {frozenset(e): v for e, v in zip(g.edge_list(), r)}
+        assert by_edge[frozenset((0, 1))] == pytest.approx(2.0)
+        assert by_edge[frozenset((1, 2))] == pytest.approx(4.0)
+
+    def test_parallel_paths_reduce_resistance(self):
+        # Triangle of unit conductances: R_eff of each edge = 2/3 < 1.
+        g = UncertainGraph([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)])
+        r = effective_resistances(g)
+        assert np.allclose(r, 2.0 / 3.0)
+
+    def test_tree_edges_have_unit_leverage(self):
+        """w_e * R_eff(e) = 1 for every bridge (irreplaceable edge)."""
+        g = UncertainGraph([(0, 1, 0.3), (1, 2, 0.7), (2, 3, 0.9)])
+        r = effective_resistances(g)
+        leverage = np.array(g.probability_array()) * r
+        assert np.allclose(leverage, 1.0)
+
+    def test_leverage_sums_to_n_minus_components(self):
+        """Foster's theorem: sum of leverage scores = n - #components."""
+        g = flickr_like(n=40, avg_degree=10, seed=1)
+        leverage = np.array(g.probability_array()) * effective_resistances(g)
+        assert leverage.sum() == pytest.approx(g.number_of_vertices() - 1, abs=1e-6)
+
+
+class TestSparsifier:
+    def test_budget(self):
+        g = flickr_like(n=50, avg_degree=14, seed=2)
+        out = effective_resistance_sparsify(g, 0.4, rng=0)
+        assert out.number_of_edges() == target_edge_count(g.number_of_edges(), 0.4)
+
+    def test_probabilities_valid(self):
+        g = flickr_like(n=50, avg_degree=14, seed=2)
+        out = effective_resistance_sparsify(g, 0.4, rng=0)
+        probs = np.array(out.probability_array())
+        assert np.all(probs > 0.0) and np.all(probs <= 1.0)
+
+    def test_bridges_always_kept(self):
+        """Leverage-1 edges are sampled with probability ~1 at any budget
+        that admits them."""
+        # Barbell: two triangles joined by a bridge.
+        g = UncertainGraph(
+            [(0, 1, 0.9), (1, 2, 0.9), (0, 2, 0.9),
+             (3, 4, 0.9), (4, 5, 0.9), (3, 5, 0.9),
+             (2, 3, 0.9)]
+        )
+        kept_bridge = 0
+        for seed in range(10):
+            out = effective_resistance_sparsify(g, 0.6, rng=seed)
+            if out.has_edge(2, 3):
+                kept_bridge += 1
+        assert kept_bridge >= 8
+
+    def test_variant_string_dispatch(self):
+        g = flickr_like(n=50, avg_degree=14, seed=3)
+        out = sparsify(g, 0.4, variant="ER", rng=3)
+        assert out.number_of_edges() == target_edge_count(g.number_of_edges(), 0.4)
+        assert "ER" in out.name

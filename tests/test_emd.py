@@ -1,0 +1,98 @@
+"""EMD (Algorithm 3): budget invariants, swap behaviour, quality."""
+
+import numpy as np
+import pytest
+
+from repro.core import EMDConfig, GDBConfig, emd, gdb, graph_entropy
+from repro.core.backbone import bgi_backbone, random_backbone, target_edge_count
+from repro.metrics import degree_discrepancy_mae
+
+
+class TestConfig:
+    @pytest.mark.parametrize("h", [-0.01, 1.01])
+    def test_invalid_h(self, h):
+        with pytest.raises(ValueError):
+            EMDConfig(h=h)
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            EMDConfig(max_iterations=0)
+
+
+class TestInterface:
+    def test_requires_exactly_one_of_alpha_backbone(self, small_power_law):
+        with pytest.raises(ValueError):
+            emd(small_power_law)
+        with pytest.raises(ValueError):
+            emd(small_power_law, alpha=0.5, backbone_ids=[0])
+
+    def test_budget_respected(self, small_power_law):
+        sparsified = emd(small_power_law, alpha=0.4, rng=0)
+        assert sparsified.number_of_edges() == target_edge_count(
+            small_power_law.number_of_edges(), 0.4
+        )
+
+    def test_vertex_set_preserved(self, small_power_law):
+        sparsified = emd(small_power_law, alpha=0.4, rng=0)
+        assert set(sparsified.vertices()) == set(small_power_law.vertices())
+
+    def test_edges_subset_of_original(self, small_power_law):
+        sparsified = emd(small_power_law, alpha=0.4, rng=0)
+        for u, v, _ in sparsified.edges():
+            assert small_power_law.has_edge(u, v)
+
+    def test_probabilities_valid(self, small_power_law):
+        probs = np.array(emd(small_power_law, alpha=0.4, rng=0).probability_array())
+        assert np.all(probs > 0.0) and np.all(probs <= 1.0)
+
+
+class TestQuality:
+    def test_beats_gdb_on_random_backbone(self, small_power_law):
+        """Restructuring must pay off when the backbone is random (6.1)."""
+        ids = random_backbone(small_power_law, 0.25, rng=3)
+        via_emd = emd(small_power_law, backbone_ids=list(ids))
+        via_gdb = gdb(small_power_law, backbone_ids=list(ids))
+        assert degree_discrepancy_mae(small_power_law, via_emd) <= (
+            degree_discrepancy_mae(small_power_law, via_gdb) + 1e-9
+        )
+
+    def test_swaps_edges_relative_to_backbone(self, small_power_law):
+        """E-phase must actually restructure a random backbone."""
+        ids = random_backbone(small_power_law, 0.25, rng=3)
+        sparsified = emd(small_power_law, backbone_ids=list(ids))
+        edge_list = small_power_law.edge_list()
+        backbone_edges = {frozenset(edge_list[e]) for e in ids}
+        kept = {frozenset((u, v)) for u, v, _ in sparsified.edges()}
+        assert kept != backbone_edges
+
+    def test_reduces_entropy(self, small_power_law):
+        sparsified = emd(small_power_law, alpha=0.3, rng=0)
+        assert graph_entropy(sparsified) < graph_entropy(small_power_law)
+
+    def test_large_alpha_near_exact_degrees(self, small_power_law):
+        sparsified = emd(small_power_law, alpha=0.8, rng=0)
+        assert degree_discrepancy_mae(small_power_law, sparsified) < 1e-2
+
+    def test_relative_variant(self, small_power_law):
+        sparsified = emd(
+            small_power_law, alpha=0.4, rng=0, config=EMDConfig(relative=True)
+        )
+        assert degree_discrepancy_mae(
+            small_power_law, sparsified, relative=True
+        ) < 0.3
+
+    def test_bgi_backbone_stays_connected_after_emd(self, small_power_law):
+        # EMD may swap tree edges, so strict connectivity is not
+        # guaranteed — but the graph should remain nearly connected.
+        ids = bgi_backbone(small_power_law, 0.4, rng=0)
+        sparsified = emd(small_power_law, backbone_ids=list(ids))
+        components = sparsified.connected_components()
+        assert max(len(c) for c in components) >= (
+            0.9 * small_power_law.number_of_vertices()
+        )
+
+    def test_deterministic_given_backbone(self, small_power_law):
+        ids = bgi_backbone(small_power_law, 0.3, rng=7)
+        a = emd(small_power_law, backbone_ids=list(ids))
+        b = emd(small_power_law, backbone_ids=list(ids))
+        assert a.isomorphic_probabilities(b)

@@ -1,0 +1,76 @@
+"""Entropy: edge entropy, graph entropy, the paper's worked values."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import UncertainGraph, edge_entropy, graph_entropy, relative_entropy
+from repro.core.entropy import entropy_array
+
+
+def test_deterministic_edges_have_zero_entropy():
+    assert edge_entropy(1.0) == 0.0
+    assert edge_entropy(0.0) == 0.0
+
+
+def test_maximum_at_half():
+    assert edge_entropy(0.5) == pytest.approx(1.0)
+
+
+def test_symmetry():
+    assert edge_entropy(0.3) == pytest.approx(edge_entropy(0.7))
+
+
+def test_known_value():
+    # H2(0.3) = 0.88129...
+    assert edge_entropy(0.3) == pytest.approx(0.881290899, abs=1e-8)
+
+
+def test_paper_figure2_entropy():
+    """The paper reports H = 3.85 for edges {0.4, 0.2, 0.4, 0.2, 0.1}."""
+    g = UncertainGraph(
+        [(0, 1, 0.4), (1, 2, 0.2), (2, 3, 0.4), (3, 0, 0.2), (0, 2, 0.1)]
+    )
+    assert graph_entropy(g) == pytest.approx(3.85, abs=0.01)
+
+
+def test_entropy_array_matches_scalar():
+    probs = np.array([0.1, 0.5, 0.99, 1.0])
+    arr = entropy_array(probs)
+    for p, h in zip(probs, arr):
+        assert h == pytest.approx(edge_entropy(float(p)))
+
+
+def test_graph_entropy_additive(triangle):
+    expected = sum(edge_entropy(p) for _, _, p in triangle.edges())
+    assert graph_entropy(triangle) == pytest.approx(expected)
+
+
+def test_relative_entropy_of_subgraph_below_one(small_power_law):
+    edges = list(small_power_law.edges())[: small_power_law.number_of_edges() // 2]
+    sub = small_power_law.subgraph_with_edges(edges)
+    assert 0.0 < relative_entropy(sub, small_power_law) < 1.0
+
+
+def test_relative_entropy_zero_entropy_original():
+    g = UncertainGraph([(0, 1, 1.0)])
+    sub = g.subgraph_with_edges([(0, 1, 1.0)])
+    assert relative_entropy(sub, g) == 0.0
+
+
+def test_relative_entropy_identity(small_power_law):
+    assert relative_entropy(small_power_law, small_power_law) == pytest.approx(1.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.floats(min_value=1e-9, max_value=1 - 1e-9))
+def test_property_entropy_in_unit_interval(p):
+    h = edge_entropy(p)
+    assert 0.0 <= h <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.floats(min_value=1e-6, max_value=0.5 - 1e-6))
+def test_property_entropy_monotone_below_half(p):
+    assert edge_entropy(p) < edge_entropy(p + 1e-6)

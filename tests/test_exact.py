@@ -1,0 +1,73 @@
+"""Exact enumeration (Eq. 1) including the paper's Fig. 1 values."""
+
+import pytest
+
+from repro.core import UncertainGraph
+from repro.datasets import figure1_graph, figure1_sparsified
+from repro.exceptions import EstimationError
+from repro.sampling import (
+    exact_connectivity_probability,
+    exact_expectation,
+    exact_query_probability,
+    exact_reliability,
+    iter_worlds,
+)
+
+
+def test_world_probabilities_sum_to_one(triangle):
+    total = sum(p for _, p in iter_worlds(triangle))
+    assert total == pytest.approx(1.0)
+
+
+def test_world_count(path4):
+    # p < 1 on all three edges: all 8 worlds have positive probability
+    assert sum(1 for _ in iter_worlds(path4)) == 8
+
+
+def test_deterministic_edge_halves_world_count(triangle):
+    # (a, c) has p = 1, so worlds without it have probability 0
+    worlds = list(iter_worlds(triangle))
+    assert len(worlds) == 4
+
+
+def test_too_many_edges_rejected():
+    g = UncertainGraph([(i, j, 0.5) for i in range(9) for j in range(i + 1, 9)])
+    assert g.number_of_edges() == 36
+    with pytest.raises(EstimationError):
+        list(iter_worlds(g))
+
+
+class TestFigure1:
+    def test_original_connectivity(self):
+        """Paper: Pr[G connected] = 0.219 for K4 at p = 0.3."""
+        assert exact_connectivity_probability(figure1_graph()) == pytest.approx(
+            0.219, abs=5e-4
+        )
+
+    def test_sparsified_connectivity(self):
+        """Paper: Pr[G' connected] = 0.216 = 0.6^3."""
+        assert exact_connectivity_probability(
+            figure1_sparsified()
+        ) == pytest.approx(0.216, abs=1e-9)
+
+
+def test_two_edge_path_reliability():
+    g = UncertainGraph([(0, 1, 0.5), (1, 2, 0.4)])
+    assert exact_reliability(g, 0, 2) == pytest.approx(0.2)
+
+
+def test_parallel_paths_reliability():
+    # 0-1 direct (0.5) or 0-2-1 (0.5 * 0.5): 1 - (1-0.5)(1-0.25) = 0.625
+    g = UncertainGraph([(0, 1, 0.5), (0, 2, 0.5), (2, 1, 0.5)])
+    assert exact_reliability(g, 0, 1) == pytest.approx(0.625)
+
+
+def test_exact_expectation_edge_count(triangle):
+    expected = exact_expectation(triangle, lambda w: float(w.number_of_edges()))
+    assert expected == pytest.approx(triangle.expected_number_of_edges())
+
+
+def test_exact_query_probability_predicate(path4):
+    # Pr[vertex 0 isolated] = 1 - p(0,1) = 0.1
+    prob = exact_query_probability(path4, lambda w: w.degrees()[0] == 0)
+    assert prob == pytest.approx(0.1)

@@ -1,0 +1,121 @@
+"""Experiment harness: smoke runs at micro scale + shape assertions."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentScale,
+    run_fig01,
+    run_fig05,
+    run_table2,
+)
+from repro.experiments.common import (
+    ResultTable,
+    geometric_mean,
+    make_flickr_proxy,
+    make_flickr_reduced,
+    make_twitter_proxy,
+    timed,
+)
+
+MICRO = ExperimentScale(
+    name="micro",
+    flickr_n=50, flickr_avg_degree=30, twitter_n=50, twitter_avg_degree=26,
+    reduced_n=40, mc_samples=20, query_pairs=10, variance_runs=4,
+    variance_samples=15, cut_samples_per_k=8, density_base_n=90,
+    alphas=(0.16, 0.5),
+)
+
+
+class TestResultTable:
+    def test_add_row_and_column(self):
+        table = ResultTable(title="t", headers=["a", "b"])
+        table.add_row("x", 1.0)
+        table.add_row("y", 2.0)
+        assert table.column("b") == [1.0, 2.0]
+        assert table.cell("x", "b") == 1.0
+
+    def test_cell_missing_key(self):
+        table = ResultTable(title="t", headers=["a"])
+        with pytest.raises(KeyError):
+            table.cell("nope", "a")
+
+    def test_format_renders_all_rows(self):
+        table = ResultTable(title="Title", headers=["h1", "h2"], notes="note!")
+        table.add_row("r", 0.5)
+        text = table.format()
+        assert "Title" in text and "h1" in text and "note!" in text
+        assert "0.5" in text
+
+    def test_format_scientific_for_small_values(self):
+        table = ResultTable(title="t", headers=["a"])
+        table.add_row(1e-8)
+        assert "e-08" in table.format()
+
+
+class TestScales:
+    def test_scale_guard_rejects_too_sparse(self):
+        with pytest.raises(ValueError):
+            ExperimentScale(
+                name="bad", flickr_n=100, flickr_avg_degree=4,
+                twitter_n=100, twitter_avg_degree=4,
+            )
+
+    def test_proxy_sizes(self):
+        g = make_flickr_proxy(MICRO)
+        assert g.number_of_vertices() == 50
+        t = make_twitter_proxy(MICRO)
+        assert t.number_of_vertices() == 50
+
+    def test_reduced_is_smaller(self):
+        reduced = make_flickr_reduced(MICRO)
+        assert reduced.number_of_vertices() == MICRO.reduced_n
+
+    def test_timed_returns_value_and_seconds(self):
+        value, seconds = timed(lambda: 42)
+        assert value == 42 and seconds >= 0.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 100.0]) == pytest.approx(10.0)
+        assert geometric_mean([]) != geometric_mean([])  # nan
+
+
+class TestFig01:
+    def test_exact_values_match_paper(self):
+        table = run_fig01()
+        assert table.cell("figure1a", "Pr[connected]") == pytest.approx(
+            0.219, abs=5e-4
+        )
+        assert table.cell("figure1b", "Pr[connected]") == pytest.approx(
+            0.216, abs=1e-9
+        )
+
+    def test_sparsified_has_half_edges(self):
+        table = run_fig01()
+        assert table.cell("figure1b", "|E|") == 3
+        assert table.cell("figure1a", "|E|") == 6
+
+
+class TestTable2Micro:
+    def test_rows_and_columns(self):
+        table = run_table2(MICRO, variants=("LP", "GDB^A", "GDB^A_n"))
+        assert len(table.rows) == 3
+        assert len(table.headers) == 1 + len(MICRO.alphas)
+
+    def test_gdb_n_is_worst_at_large_alpha(self):
+        table = run_table2(MICRO, variants=("GDB^A", "GDB^A_n"))
+        last = table.headers[-1]
+        assert table.cell("GDB^A_n", last) > table.cell("GDB^A", last)
+
+    def test_error_decreases_with_alpha(self):
+        table = run_table2(MICRO, variants=("GDB^A",))
+        row = table.rows[0][1:]
+        assert row[-1] <= row[0]
+
+
+class TestFig05Micro:
+    def test_h_tradeoff_shape(self):
+        mae, entropy = run_fig05(MICRO, h_values=(0.0, 1.0))
+        last = mae.headers[-1]
+        # h=1 at least as accurate as h=0; h=0 lowest entropy.
+        assert mae.cell(1.0, last) <= mae.cell(0.0, last) + 1e-12
+        assert entropy.cell(0.0, last) <= entropy.cell(1.0, last) + 1e-12

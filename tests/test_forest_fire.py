@@ -1,0 +1,64 @@
+"""Forest Fire subgraph sampling."""
+
+import pytest
+
+from repro.datasets import flickr_like, forest_fire_sample
+
+
+def test_target_vertex_count():
+    g = flickr_like(n=120, avg_degree=10, seed=0)
+    sample = forest_fire_sample(g, 50, rng=0)
+    assert sample.number_of_vertices() == 50
+
+
+def test_target_capped_at_graph_size():
+    g = flickr_like(n=30, avg_degree=6, seed=0)
+    sample = forest_fire_sample(g, 500, rng=0)
+    assert sample.number_of_vertices() == 30
+
+
+def test_is_induced_subgraph():
+    g = flickr_like(n=80, avg_degree=8, seed=1)
+    sample = forest_fire_sample(g, 40, rng=1)
+    kept = set(sample.vertices())
+    for u, v, p in sample.edges():
+        assert g.has_edge(u, v)
+        assert g.probability(u, v) == pytest.approx(p)
+    # Induced: every original edge between kept vertices must be present.
+    for u, v, _ in g.edges():
+        if u in kept and v in kept:
+            assert sample.has_edge(u, v)
+
+
+def test_deterministic_given_seed():
+    g = flickr_like(n=60, avg_degree=8, seed=2)
+    a = forest_fire_sample(g, 30, rng=5)
+    b = forest_fire_sample(g, 30, rng=5)
+    assert a.isomorphic_probabilities(b)
+
+
+def test_invalid_forward_probability():
+    g = flickr_like(n=30, avg_degree=6, seed=0)
+    with pytest.raises(ValueError):
+        forest_fire_sample(g, 10, forward_probability=1.0)
+    with pytest.raises(ValueError):
+        forest_fire_sample(g, 10, forward_probability=0.0)
+
+
+def test_sample_denser_than_uniform():
+    """Forest Fire burns communities: samples keep more edges than a
+    uniform random vertex subset of the same size (in expectation)."""
+    import numpy as np
+
+    g = flickr_like(n=150, avg_degree=10, seed=3)
+    rng = np.random.default_rng(4)
+    ff_edges = []
+    uniform_edges = []
+    vertices = g.vertices()
+    for seed in range(5):
+        ff = forest_fire_sample(g, 50, rng=seed)
+        ff_edges.append(ff.number_of_edges())
+        picks = rng.choice(len(vertices), size=50, replace=False)
+        uniform = g.induced_subgraph([vertices[i] for i in picks])
+        uniform_edges.append(uniform.number_of_edges())
+    assert np.mean(ff_edges) > np.mean(uniform_edges)

@@ -1,0 +1,147 @@
+"""Indexed max-heap: ordering, update-key, removal, invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.heap import IndexedMaxHeap
+
+
+def test_empty_heap_is_falsy():
+    heap = IndexedMaxHeap()
+    assert not heap
+    assert len(heap) == 0
+
+
+def test_peek_and_pop_return_maximum():
+    heap = IndexedMaxHeap({"a": 1.0, "b": 5.0, "c": 3.0})
+    assert heap.peek() == ("b", 5.0)
+    assert heap.pop() == ("b", 5.0)
+    assert heap.pop() == ("c", 3.0)
+    assert heap.pop() == ("a", 1.0)
+
+
+def test_pop_empty_raises():
+    with pytest.raises(IndexError):
+        IndexedMaxHeap().pop()
+
+
+def test_peek_empty_raises():
+    with pytest.raises(IndexError):
+        IndexedMaxHeap().peek()
+
+
+def test_push_duplicate_raises():
+    heap = IndexedMaxHeap({"x": 1.0})
+    with pytest.raises(ValueError):
+        heap.push("x", 2.0)
+
+
+def test_bulk_build_rejects_duplicates():
+    # dict keys are unique, so exercise push-after-build duplication
+    heap = IndexedMaxHeap({1: 1.0, 2: 2.0})
+    with pytest.raises(ValueError):
+        heap.push(2, 3.0)
+
+
+def test_update_increases_priority():
+    heap = IndexedMaxHeap({"a": 1.0, "b": 2.0})
+    heap.update("a", 10.0)
+    assert heap.peek() == ("a", 10.0)
+
+
+def test_update_decreases_priority():
+    heap = IndexedMaxHeap({"a": 5.0, "b": 2.0})
+    heap.update("a", 0.5)
+    assert heap.peek() == ("b", 2.0)
+
+
+def test_update_missing_item_pushes():
+    heap = IndexedMaxHeap({"a": 1.0})
+    heap.update("z", 9.0)
+    assert heap.peek() == ("z", 9.0)
+
+
+def test_remove_arbitrary_item():
+    heap = IndexedMaxHeap({"a": 1.0, "b": 2.0, "c": 3.0})
+    assert heap.remove("b") == 2.0
+    assert "b" not in heap
+    assert heap.pop() == ("c", 3.0)
+    assert heap.pop() == ("a", 1.0)
+
+
+def test_remove_missing_raises_keyerror():
+    with pytest.raises(KeyError):
+        IndexedMaxHeap({"a": 1.0}).remove("b")
+
+
+def test_priority_lookup():
+    heap = IndexedMaxHeap({"a": 1.5})
+    assert heap.priority("a") == 1.5
+
+
+def test_contains_and_iter():
+    heap = IndexedMaxHeap({"a": 1.0, "b": 2.0})
+    assert "a" in heap and "b" in heap and "c" not in heap
+    assert sorted(heap) == ["a", "b"]
+
+
+def test_heapsort_agrees_with_sorted():
+    values = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6, 5.0]
+    heap = IndexedMaxHeap({i: v for i, v in enumerate(values)})
+    drained = [heap.pop()[1] for _ in range(len(values))]
+    assert drained == sorted(values, reverse=True)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=80))
+def test_property_pop_order_is_descending(priorities):
+    heap = IndexedMaxHeap({i: p for i, p in enumerate(priorities)})
+    heap.validate()
+    drained = [heap.pop()[1] for _ in range(len(priorities))]
+    assert drained == sorted(priorities, reverse=True)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 20), st.floats(min_value=-100, max_value=100)),
+        min_size=1,
+        max_size=120,
+    )
+)
+def test_property_interleaved_updates_keep_invariant(operations):
+    heap = IndexedMaxHeap()
+    reference: dict[int, float] = {}
+    for item, priority in operations:
+        heap.update(item, priority)
+        reference[item] = priority
+        heap.validate()
+    drained = {}
+    while heap:
+        item, priority = heap.pop()
+        drained[item] = priority
+    assert drained == reference
+
+
+def test_random_stress_against_reference(rng=np.random.default_rng(7)):
+    heap = IndexedMaxHeap()
+    reference: dict[int, float] = {}
+    for _ in range(500):
+        op = rng.integers(0, 3)
+        if op == 0 or not reference:
+            item = int(rng.integers(0, 50))
+            priority = float(rng.normal())
+            heap.update(item, priority)
+            reference[item] = priority
+        elif op == 1:
+            item, priority = heap.pop()
+            assert priority == max(reference.values())
+            del reference[item]
+        else:
+            item = list(reference)[int(rng.integers(0, len(reference)))]
+            priority = float(rng.normal())
+            heap.update(item, priority)
+            reference[item] = priority
+        heap.validate()

@@ -1,0 +1,71 @@
+"""Edge-list I/O round trips and error handling."""
+
+import pytest
+
+from repro.core import UncertainGraph
+from repro.datasets import flickr_like, read_edge_list, write_edge_list
+from repro.exceptions import GraphError
+
+
+def test_roundtrip(tmp_path, small_power_law):
+    path = tmp_path / "graph.txt"
+    write_edge_list(small_power_law, path)
+    back = read_edge_list(path)
+    # vertex tokens become strings on read
+    assert back.number_of_edges() == small_power_law.number_of_edges()
+    for u, v, p in small_power_law.edges():
+        assert back.probability(str(u), str(v)) == pytest.approx(p, abs=1e-9)
+
+
+def test_isolated_vertices_roundtrip(tmp_path):
+    g = UncertainGraph([(0, 1, 0.5)], vertices=["lonely"])
+    path = tmp_path / "g.txt"
+    write_edge_list(g, path)
+    back = read_edge_list(path)
+    assert back.number_of_vertices() == 3
+    assert "lonely" in back
+
+
+def test_comments_and_blank_lines(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("# header\n\na b 0.5  # trailing comment\n\nc\n")
+    g = read_edge_list(path)
+    assert g.number_of_edges() == 1
+    assert g.probability("a", "b") == 0.5
+    assert "c" in g
+
+
+def test_malformed_line_rejected(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("a b\n")
+    with pytest.raises(GraphError):
+        read_edge_list(path)
+
+
+def test_non_numeric_probability_rejected(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("a b xyz\n")
+    with pytest.raises(GraphError):
+        read_edge_list(path)
+
+
+def test_out_of_range_probability_rejected(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("a b 1.5\n")
+    with pytest.raises(GraphError):
+        read_edge_list(path)
+
+
+def test_name_defaults_to_filename(tmp_path):
+    path = tmp_path / "mygraph.txt"
+    write_edge_list(UncertainGraph([(0, 1, 0.5)]), path)
+    assert read_edge_list(path).name == "mygraph.txt"
+
+
+def test_precision_preserved(tmp_path):
+    g = UncertainGraph([(0, 1, 0.123456789)])
+    path = tmp_path / "p.txt"
+    write_edge_list(g, path)
+    assert read_edge_list(path).probability("0", "1") == pytest.approx(
+        0.123456789, abs=1e-9
+    )

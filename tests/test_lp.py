@@ -1,0 +1,74 @@
+"""LP probability assignment (Theorem 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    UncertainGraph,
+    d1_objective,
+    gdb,
+    lp_assign_probabilities,
+    lp_sparsify,
+)
+from repro.core.backbone import bgi_backbone, target_edge_count
+from repro.core.gdb import GDBConfig
+
+
+def test_empty_backbone_gives_empty_assignment(small_power_law):
+    assert len(lp_assign_probabilities(small_power_law, [])) == 0
+
+
+def test_probabilities_within_bounds(small_power_law):
+    ids = bgi_backbone(small_power_law, 0.4, rng=0)
+    probs = lp_assign_probabilities(small_power_law, list(ids))
+    assert np.all(probs >= 0.0) and np.all(probs <= 1.0)
+
+
+def test_degree_constraints_respected(small_power_law):
+    """LP solutions never exceed the original expected degrees (Lemma 1)."""
+    ids = bgi_backbone(small_power_law, 0.4, rng=0)
+    sparsified = lp_sparsify(small_power_law, backbone_ids=list(ids))
+    for vertex in small_power_law.vertices():
+        assert sparsified.expected_degree(vertex) <= (
+            small_power_law.expected_degree(vertex) + 1e-6
+        )
+
+
+def test_lp_at_least_as_good_as_gdb_same_backbone(small_power_law):
+    """Theorem 1: LP is the optimal assignment for a fixed backbone."""
+    ids = bgi_backbone(small_power_law, 0.3, rng=0)
+    via_lp = lp_sparsify(small_power_law, backbone_ids=list(ids))
+    via_gdb = gdb(
+        small_power_law, backbone_ids=list(ids), config=GDBConfig(h=1.0)
+    )
+    lp_objective = d1_objective(small_power_law, via_lp)
+    # Compare Delta_1 (the LP's true objective is the absolute sum).
+    from repro.core import delta_1
+
+    assert delta_1(small_power_law, via_lp) <= (
+        delta_1(small_power_law, via_gdb) + 1e-6
+    )
+    assert lp_objective >= 0.0
+
+
+def test_budget_and_interface(small_power_law):
+    sparsified = lp_sparsify(small_power_law, alpha=0.4, rng=0)
+    assert sparsified.number_of_edges() == target_edge_count(
+        small_power_law.number_of_edges(), 0.4
+    )
+    with pytest.raises(ValueError):
+        lp_sparsify(small_power_law)
+    with pytest.raises(ValueError):
+        lp_sparsify(small_power_law, alpha=0.4, backbone_ids=[0])
+
+
+def test_exact_on_solvable_instance():
+    """A star whose backbone can match degrees exactly: LP finds it."""
+    g = UncertainGraph([(0, 1, 0.5), (0, 2, 0.5), (0, 3, 0.5), (0, 4, 0.5)])
+    # Keep two edges; optimum puts p = 1 on both to cover the centre's
+    # degree of 2.0 (leaves saturate at their bound 1 >= 0.5... the LP
+    # maximises total mass subject to A p <= d, so each kept edge gets
+    # min(1, leaf degree) = 0.5 and the centre is under-filled by 1.0.)
+    probs = lp_assign_probabilities(g, [0, 1])
+    assert np.all(probs <= 0.5 + 1e-9)
+    assert probs.sum() == pytest.approx(1.0, abs=1e-6)

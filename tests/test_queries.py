@@ -1,0 +1,147 @@
+"""Query implementations against analytic and networkx oracles."""
+
+import numpy as np
+import pytest
+
+from repro.core import UncertainGraph
+from repro.datasets import flickr_like
+from repro.queries import (
+    ClusteringCoefficientQuery,
+    ComponentCountQuery,
+    ConnectivityQuery,
+    DegreeQuery,
+    PageRankQuery,
+    ReliabilityQuery,
+    ShortestPathQuery,
+    sample_vertex_pairs,
+    world_pagerank,
+)
+from repro.sampling import MonteCarloEstimator, WorldSampler
+
+
+def full_world(graph):
+    sampler = WorldSampler(graph)
+    return sampler.world_from_mask(np.ones(sampler.m, dtype=bool))
+
+
+class TestPageRank:
+    def test_sums_to_one(self, small_power_law):
+        pr = world_pagerank(full_world(small_power_law))
+        assert pr.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_uniform_on_cycle(self):
+        g = UncertainGraph([(i, (i + 1) % 6, 1.0) for i in range(6)])
+        pr = world_pagerank(full_world(g))
+        assert np.allclose(pr, 1 / 6, atol=1e-8)
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        g = flickr_like(n=40, avg_degree=8, seed=2)
+        world = full_world(g)
+        pr = world_pagerank(world, damping=0.85)
+        nx_graph = nx.Graph(list((u, v) for u, v, _ in g.edges()))
+        nx_graph.add_nodes_from(g.vertices())
+        expected = nx.pagerank(nx_graph, alpha=0.85, tol=1e-12, max_iter=200)
+        indexer = g.vertex_indexer()
+        for vertex, value in expected.items():
+            assert pr[indexer[vertex]] == pytest.approx(value, abs=1e-6)
+
+    def test_dangling_vertices_handled(self):
+        g = UncertainGraph([(0, 1, 1.0)], vertices=[2])
+        pr = world_pagerank(full_world(g))
+        assert pr.sum() == pytest.approx(1.0, abs=1e-6)
+        assert pr[2] > 0
+
+    def test_query_protocol(self, small_power_law):
+        query = PageRankQuery(small_power_law.number_of_vertices())
+        assert query.unit_count() == small_power_law.number_of_vertices()
+        out = query.evaluate(full_world(small_power_law))
+        assert out.shape == (query.unit_count(),)
+
+
+class TestShortestPath:
+    def test_distances_on_path(self, path4):
+        query = ShortestPathQuery([(0, 3), (1, 2)])
+        out = query.evaluate(full_world(path4))
+        assert list(out) == [3.0, 1.0]
+
+    def test_disconnected_pair_is_nan(self):
+        g = UncertainGraph([(0, 1, 1.0), (2, 3, 1.0)])
+        query = ShortestPathQuery([(0, 2)])
+        out = query.evaluate(full_world(g))
+        assert np.isnan(out[0])
+
+    def test_pairs_grouped_by_source(self, path4):
+        query = ShortestPathQuery([(0, 1), (0, 2), (0, 3)])
+        out = query.evaluate(full_world(path4))
+        assert list(out) == [1.0, 2.0, 3.0]
+
+    def test_empty_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            ShortestPathQuery([])
+
+    def test_expected_distance_excludes_disconnecting_worlds(self):
+        """SP protocol: average over connected worlds only."""
+        g = UncertainGraph([(0, 1, 0.5)])
+        estimator = MonteCarloEstimator(g, n_samples=500)
+        result = estimator.run(ShortestPathQuery([(0, 1)]), rng=0)
+        assert result.unit_estimates()[0] == pytest.approx(1.0)
+
+
+class TestReliability:
+    def test_deterministic_path(self, path4):
+        query = ReliabilityQuery([(0, 3)])
+        out = query.evaluate(full_world(path4))
+        assert out[0] == 1.0
+
+    def test_disconnected(self):
+        g = UncertainGraph([(0, 1, 1.0), (2, 3, 1.0)])
+        query = ReliabilityQuery([(0, 3)])
+        assert query.evaluate(full_world(g))[0] == 0.0
+
+    def test_empty_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            ReliabilityQuery([])
+
+
+class TestClusteringAndConnectivity:
+    def test_cc_query(self, triangle):
+        query = ClusteringCoefficientQuery(3)
+        assert np.allclose(query.evaluate(full_world(triangle)), 1.0)
+
+    def test_connectivity_query(self, path4):
+        assert ConnectivityQuery().evaluate(full_world(path4))[0] == 1.0
+
+    def test_component_count_query(self):
+        g = UncertainGraph([(0, 1, 1.0), (2, 3, 1.0)])
+        assert ComponentCountQuery().evaluate(full_world(g))[0] == 2.0
+
+    def test_degree_query_matches_world(self, small_power_law):
+        world = full_world(small_power_law)
+        query = DegreeQuery(small_power_law.number_of_vertices())
+        assert np.array_equal(query.evaluate(world), world.degrees())
+
+
+class TestPairSampling:
+    def test_count_and_distinctness(self, small_power_law):
+        pairs = sample_vertex_pairs(small_power_law, 20, rng=0)
+        assert len(pairs) == 20
+        assert len(set(pairs)) == 20
+        for u, v in pairs:
+            assert u != v
+            assert u < v  # canonical order
+
+    def test_capped_at_max_pairs(self):
+        g = UncertainGraph([(0, 1, 0.5), (1, 2, 0.5)])
+        pairs = sample_vertex_pairs(g, 100, rng=0)
+        assert len(pairs) == 3  # C(3, 2)
+
+    def test_needs_two_vertices(self):
+        with pytest.raises(ValueError):
+            sample_vertex_pairs(UncertainGraph(vertices=[0]), 1, rng=0)
+
+    def test_deterministic(self, small_power_law):
+        assert sample_vertex_pairs(small_power_law, 10, rng=3) == (
+            sample_vertex_pairs(small_power_law, 10, rng=3)
+        )

@@ -1,0 +1,81 @@
+"""Report driver assembly (experiment functions stubbed for speed)."""
+
+import pytest
+
+import repro.experiments.report as report_module
+from repro.experiments.common import ResultTable
+
+
+@pytest.fixture
+def stubbed(monkeypatch):
+    """Replace every run_* with an instant stub returning tiny tables."""
+
+    def table(title):
+        t = ResultTable(title=title, headers=["m", "8%", "16%"])
+        t.add_row("GDB", 1.0, 0.5)
+        t.add_row("EMD", 0.8, 0.25)
+        return t
+
+    monkeypatch.setattr(report_module, "run_fig01", lambda: table("fig1"))
+    monkeypatch.setattr(report_module, "run_table2", lambda s: table("t2"))
+    monkeypatch.setattr(report_module, "run_fig04a", lambda s: table("4a"))
+    monkeypatch.setattr(report_module, "run_fig04b", lambda s: table("4b"))
+    monkeypatch.setattr(
+        report_module, "run_fig05", lambda s: (table("5a"), table("5b"))
+    )
+    monkeypatch.setattr(
+        report_module, "run_fig06",
+        lambda s: {"flickr": (table("6d"), table("6c"))},
+    )
+    monkeypatch.setattr(
+        report_module, "run_fig07", lambda s: (table("7d"), table("7c"))
+    )
+    monkeypatch.setattr(
+        report_module, "run_fig08", lambda s: {"flickr": table("8")}
+    )
+    monkeypatch.setattr(
+        report_module, "run_fig09", lambda s: {"flickr": table("9")}
+    )
+    monkeypatch.setattr(
+        report_module, "run_fig10", lambda s: {"flickr": {"PR": table("10")}}
+    )
+    monkeypatch.setattr(
+        report_module, "run_fig11", lambda s: {"PR": table("11")}
+    )
+    monkeypatch.setattr(
+        report_module, "run_fig12",
+        lambda s, alphas=None: {"flickr": {"PR": table("12")}},
+    )
+    monkeypatch.setattr(
+        report_module, "run_sample_budget", lambda s: table("budget")
+    )
+    return report_module
+
+
+def test_report_contains_every_section(stubbed):
+    text = stubbed.generate_report()
+    for fragment in (
+        "Fig. 1", "Table 2", "Fig. 4(a)", "Fig. 4(b)", "Fig. 5",
+        "Fig. 6", "Fig. 7", "Fig. 8", "Fig. 9", "Fig. 10", "Fig. 11",
+        "Fig. 12",
+    ):
+        assert fragment in text, fragment
+
+
+def test_report_includes_charts(stubbed):
+    text = stubbed.generate_report(chart=True)
+    assert "o=GDB" in text  # chart legend
+    flat = stubbed.generate_report(chart=False)
+    assert "o=GDB" not in flat
+
+
+def test_main_writes_file(stubbed, tmp_path, capsys):
+    out = tmp_path / "report.txt"
+    assert stubbed.main(["tiny", str(out)]) == 0
+    assert "Table 2" in out.read_text()
+    assert "Table 2" in capsys.readouterr().out
+
+
+def test_main_defaults_to_tiny(stubbed, capsys):
+    assert stubbed.main([]) == 0
+    assert "scale=tiny" in capsys.readouterr().out

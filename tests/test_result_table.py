@@ -1,0 +1,72 @@
+"""ResultTable formatting edge cases (experiment table renderer)."""
+
+import pytest
+
+from repro.experiments.common import ResultTable, geometric_mean, timed
+
+
+def test_zero_renders_bare():
+    table = ResultTable(title="t", headers=["a"])
+    table.add_row(0.0)
+    assert table.format().splitlines()[-1].strip() == "0"
+
+
+def test_large_values_scientific():
+    table = ResultTable(title="t", headers=["a"])
+    table.add_row(123456.0)
+    assert "e+05" in table.format()
+
+
+def test_small_values_scientific():
+    table = ResultTable(title="t", headers=["a"])
+    table.add_row(0.00012)
+    assert "1.200e-04" in table.format()
+
+
+def test_mid_range_fixed_point():
+    table = ResultTable(title="t", headers=["a"])
+    table.add_row(0.5)
+    assert "0.5000" in table.format()
+
+
+def test_strings_and_ints_pass_through():
+    table = ResultTable(title="t", headers=["name", "count"])
+    table.add_row("GDB", 42)
+    text = table.format()
+    assert "GDB" in text and "42" in text
+
+
+def test_columns_aligned():
+    table = ResultTable(title="t", headers=["method", "x"])
+    table.add_row("short", 1.0)
+    table.add_row("a-much-longer-name", 2.0)
+    lines = table.format().splitlines()
+    header_line = lines[2]
+    # The x column starts at the same offset in every row.
+    offset = header_line.index("x")
+    for line in lines[3:]:
+        value = line[offset:].strip().split()[0]
+        assert value in ("1.0000", "2.0000")
+
+
+def test_empty_table_formats():
+    table = ResultTable(title="empty", headers=["h1", "h2"])
+    text = table.format()
+    assert "empty" in text and "h1" in text
+
+
+def test_str_equals_format():
+    table = ResultTable(title="t", headers=["a"])
+    table.add_row(1.0)
+    assert str(table) == table.format()
+
+
+def test_timed_measures_positive_duration():
+    import time
+
+    _, seconds = timed(time.sleep, 0.01)
+    assert seconds >= 0.009
+
+
+def test_geometric_mean_ignores_nonpositive():
+    assert geometric_mean([0.0, -1.0, 4.0, 1.0]) == pytest.approx(2.0)

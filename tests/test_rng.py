@@ -1,0 +1,55 @@
+"""RNG normalisation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+def test_none_gives_generator():
+    assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+def test_int_seed_is_deterministic():
+    a = ensure_rng(42).random(5)
+    b = ensure_rng(42).random(5)
+    assert np.array_equal(a, b)
+
+
+def test_generator_passthrough():
+    g = np.random.default_rng(0)
+    assert ensure_rng(g) is g
+
+
+def test_numpy_integer_seed_accepted():
+    seed = np.int64(7)
+    a = ensure_rng(seed).random(3)
+    b = ensure_rng(7).random(3)
+    assert np.array_equal(a, b)
+
+
+def test_invalid_type_rejected():
+    with pytest.raises(TypeError):
+        ensure_rng("not-a-seed")
+
+
+def test_spawn_count_and_independence():
+    children = spawn_rngs(3, 4)
+    assert len(children) == 4
+    draws = [c.random() for c in children]
+    assert len(set(draws)) == 4  # astronomically unlikely to collide
+
+
+def test_spawn_is_deterministic_given_seed():
+    a = [g.random() for g in spawn_rngs(9, 3)]
+    b = [g.random() for g in spawn_rngs(9, 3)]
+    assert a == b
+
+
+def test_spawn_negative_count_rejected():
+    with pytest.raises(ValueError):
+        spawn_rngs(0, -1)
+
+
+def test_spawn_zero_is_empty():
+    assert spawn_rngs(0, 0) == []

@@ -1,0 +1,106 @@
+"""Baswana–Sen spanner benchmark (Algorithm 5 + adaptation)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.spanner import (
+    _initial_stretch,
+    baswana_sen_spanner,
+    spanner_sparsify,
+)
+from repro.core import UncertainGraph
+from repro.core.backbone import target_edge_count
+from repro.datasets import flickr_like
+
+
+class TestInitialStretch:
+    def test_dense_budget_gives_small_t(self):
+        # n=100, m=4000, alpha=0.64 -> budget 2560 >= 2 * 100^1.5 = 2000
+        assert _initial_stretch(100, 4000, 0.64, t_max=24) == 2
+
+    def test_tight_budget_gives_t_max(self):
+        assert _initial_stretch(100, 300, 0.1, t_max=24) == 24
+
+
+class TestBaswanaSen:
+    def _spanner(self, graph, t, seed=0):
+        weights = -np.log(np.array(graph.probability_array()))
+        return baswana_sen_spanner(
+            graph.number_of_vertices(),
+            graph.edge_index_array(),
+            weights,
+            t,
+            np.random.default_rng(seed),
+        )
+
+    def test_returns_valid_edge_ids(self, small_power_law):
+        ids = self._spanner(small_power_law, 3)
+        m = small_power_law.number_of_edges()
+        assert all(0 <= e < m for e in ids)
+        assert len(set(ids)) == len(ids)
+
+    def test_spanner_smaller_than_graph(self, small_power_law):
+        ids = self._spanner(small_power_law, 3)
+        assert len(ids) < small_power_law.number_of_edges()
+
+    def test_spanner_preserves_connectivity(self):
+        g = flickr_like(n=40, avg_degree=12, seed=2)
+        ids = self._spanner(g, 2)
+        edge_list = g.edge_list()
+        probs = g.probability_array()
+        spanner = g.subgraph_with_edges(
+            (edge_list[e][0], edge_list[e][1], float(probs[e])) for e in ids
+        )
+        # A (2t-1)-spanner of a connected graph is connected.
+        assert spanner.is_connected()
+
+    def test_stretch_bound_holds_on_small_graph(self):
+        """distances in the spanner are at most (2t-1) x original."""
+        import networkx as nx
+
+        g = flickr_like(n=30, avg_degree=8, seed=3)
+        t = 2
+        ids = self._spanner(g, t)
+        weights = -np.log(np.array(g.probability_array()))
+        original = nx.Graph()
+        spanner = nx.Graph()
+        edge_list = g.edge_list()
+        for eid, (u, v) in enumerate(edge_list):
+            original.add_edge(u, v, weight=float(weights[eid]))
+            if eid in set(ids):
+                spanner.add_edge(u, v, weight=float(weights[eid]))
+        spanner.add_nodes_from(original.nodes())
+        dist_orig = dict(nx.all_pairs_dijkstra_path_length(original))
+        dist_span = dict(nx.all_pairs_dijkstra_path_length(spanner))
+        stretch = 2 * t - 1
+        for u in original.nodes():
+            for v, d in dist_orig[u].items():
+                if u == v:
+                    continue
+                assert v in dist_span[u], "spanner disconnected a pair"
+                assert dist_span[u][v] <= stretch * d + 1e-9
+
+
+class TestSpannerSparsify:
+    def test_budget_met(self, small_power_law):
+        out = spanner_sparsify(small_power_law, 0.4, rng=0)
+        assert out.number_of_edges() == target_edge_count(
+            small_power_law.number_of_edges(), 0.4
+        )
+
+    def test_probabilities_unchanged(self, small_power_law):
+        """Spanners never redistribute: kept edges keep original p."""
+        out = spanner_sparsify(small_power_law, 0.4, rng=0)
+        for u, v, p in out.edges():
+            assert p == pytest.approx(small_power_law.probability(u, v))
+
+    def test_vertex_set_preserved(self, small_power_law):
+        out = spanner_sparsify(small_power_law, 0.4, rng=0)
+        assert set(out.vertices()) == set(small_power_law.vertices())
+
+    def test_small_budget_truncation_fallback(self, small_sparse):
+        """Sparse graph + small alpha: the documented truncation path."""
+        out = spanner_sparsify(small_sparse, 0.15, rng=0)
+        assert out.number_of_edges() == target_edge_count(
+            small_sparse.number_of_edges(), 0.15
+        )

@@ -1,0 +1,94 @@
+"""Variant parsing and the unified sparsify() front-end."""
+
+import pytest
+
+from repro.core import (
+    available_variants,
+    check_budget,
+    parse_variant,
+    sparsify,
+    target_edge_count,
+)
+
+
+class TestParse:
+    def test_simple_methods(self):
+        assert parse_variant("GDB").method == "gdb"
+        assert parse_variant("EMD").method == "emd"
+        assert parse_variant("LP").method == "lp"
+        assert parse_variant("NI").method == "ni"
+        assert parse_variant("SP").method == "sp"
+        assert parse_variant("SS").method == "sp"  # paper uses both names
+        assert parse_variant("RANDOM").method == "random"
+
+    def test_discrepancy_superscripts(self):
+        assert parse_variant("GDB^A").relative is False
+        assert parse_variant("GDB^R").relative is True
+        assert parse_variant("EMD").relative is False  # default absolute
+
+    def test_k_subscripts(self):
+        assert parse_variant("GDB^A_2").k == 2
+        assert parse_variant("GDB^A_5").k == 5
+        assert parse_variant("GDB^A_n").k == "n"
+        assert parse_variant("GDB^A").k == 1
+
+    def test_backbone_suffix(self):
+        assert parse_variant("EMD^R-t").bgi_backbone is True
+        assert parse_variant("EMD^R").bgi_backbone is False
+
+    def test_case_insensitive(self):
+        spec = parse_variant("emd^r-t")
+        assert spec.method == "emd" and spec.relative and spec.bgi_backbone
+
+    def test_canonical_name_roundtrip(self):
+        for name in ("GDB^A", "GDB^R-t", "GDB^A_2", "GDB^A_n", "EMD^R-t"):
+            assert parse_variant(name).canonical_name == name
+
+    @pytest.mark.parametrize("bad", ["", "XYZ", "GDB^Q", "GDB_", "GDB--t"])
+    def test_invalid_variants(self, bad):
+        with pytest.raises(ValueError):
+            parse_variant(bad)
+
+
+class TestDispatch:
+    @pytest.mark.parametrize(
+        "variant",
+        ["GDB^A", "GDB^R-t", "GDB^A_2", "GDB^A_n", "EMD^A", "EMD^R-t",
+         "LP", "LP-t", "NI", "SP", "RANDOM"],
+    )
+    def test_every_variant_meets_budget(self, small_power_law, variant):
+        sparsified = sparsify(small_power_law, 0.4, variant=variant, rng=0)
+        assert check_budget(small_power_law, sparsified, 0.4)
+        assert set(sparsified.vertices()) == set(small_power_law.vertices())
+
+    def test_emd_with_k_rejected(self, small_power_law):
+        with pytest.raises(ValueError):
+            sparsify(small_power_law, 0.4, variant="EMD^A_2")
+
+    def test_alpha_out_of_range(self, small_power_law):
+        with pytest.raises(ValueError):
+            sparsify(small_power_law, 1.5, variant="GDB^A")
+
+    def test_name_override(self, small_power_law):
+        out = sparsify(small_power_law, 0.4, variant="GDB^A", rng=0, name="custom")
+        assert out.name == "custom"
+
+    def test_default_name_mentions_variant(self, small_power_law):
+        out = sparsify(small_power_law, 0.4, variant="GDB^A", rng=0)
+        assert "GDB^A" in out.name
+
+    def test_available_variants_all_parse(self):
+        for variant in available_variants():
+            parse_variant(variant)
+
+    def test_deterministic_with_seed(self, small_power_law):
+        a = sparsify(small_power_law, 0.3, variant="EMD^R-t", rng=5)
+        b = sparsify(small_power_law, 0.3, variant="EMD^R-t", rng=5)
+        assert a.isomorphic_probabilities(b)
+
+
+def test_check_budget_detects_mismatch(small_power_law):
+    sparsified = sparsify(small_power_law, 0.4, variant="GDB^A", rng=0)
+    assert check_budget(small_power_law, sparsified, 0.4)
+    assert not check_budget(small_power_law, sparsified, 0.7)
+    assert target_edge_count(10, 0.5) == 5

@@ -1,0 +1,98 @@
+"""Structural metrics: degree / cut MAE, cut sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core import UncertainGraph, sparsify
+from repro.metrics import (
+    degree_discrepancy_mae,
+    sample_cut_sets,
+    sampled_cut_discrepancy_mae,
+)
+
+
+def test_identity_has_zero_mae(small_power_law):
+    assert degree_discrepancy_mae(small_power_law, small_power_law) == 0.0
+    assert sampled_cut_discrepancy_mae(
+        small_power_law, small_power_law, rng=0
+    ) == pytest.approx(0.0)
+
+
+def test_degree_mae_hand_computed(triangle):
+    sub = triangle.subgraph_with_edges([("a", "b", 0.5)])
+    # deltas: a: 1.0, b: 0.25, c: 1.25 -> MAE = 2.5 / 3
+    assert degree_discrepancy_mae(triangle, sub) == pytest.approx(2.5 / 3)
+
+
+def test_degree_mae_relative(triangle):
+    sub = triangle.subgraph_with_edges([("a", "b", 0.5)])
+    absolute = [1.0 / 1.5, 0.25 / 0.75, 1.25 / 1.25]
+    assert degree_discrepancy_mae(triangle, sub, relative=True) == pytest.approx(
+        float(np.mean(absolute))
+    )
+
+
+class TestCutSampling:
+    def test_geometric_ladder_default(self):
+        sets = sample_cut_sets(64, samples_per_k=5, rng=0)
+        sizes = sorted({len(s) for s in sets})
+        assert sizes == [1, 2, 4, 8, 16, 32]
+        assert len(sets) == 6 * 5
+
+    def test_explicit_cardinalities(self):
+        sets = sample_cut_sets(10, cardinalities=[1, 3], samples_per_k=4, rng=0)
+        assert len(sets) == 8
+        assert {len(s) for s in sets} == {1, 3}
+
+    def test_members_are_valid_and_distinct(self):
+        for subset in sample_cut_sets(20, samples_per_k=3, rng=1):
+            assert len(set(subset.tolist())) == len(subset)
+            assert subset.min() >= 0 and subset.max() < 20
+
+    def test_cardinality_clamped_to_n_minus_one(self):
+        sets = sample_cut_sets(5, cardinalities=[100], samples_per_k=2, rng=0)
+        assert all(len(s) == 4 for s in sets)
+
+
+class TestCutMAE:
+    def test_matches_bruteforce(self, small_power_law):
+        sparsified = sparsify(small_power_law, 0.4, variant="GDB^A", rng=0)
+        cut_sets = sample_cut_sets(
+            small_power_law.number_of_vertices(), samples_per_k=5, rng=2
+        )
+        fast = sampled_cut_discrepancy_mae(
+            small_power_law, sparsified, cut_sets=cut_sets
+        )
+        vertex_of = small_power_law.vertices()
+        brute = np.mean(
+            [
+                abs(
+                    small_power_law.expected_cut_size(
+                        [vertex_of[i] for i in subset]
+                    )
+                    - sparsified.expected_cut_size([vertex_of[i] for i in subset])
+                )
+                for subset in cut_sets
+            ]
+        )
+        assert fast == pytest.approx(float(brute))
+
+    def test_relative_variant(self, small_power_law):
+        sparsified = sparsify(small_power_law, 0.4, variant="GDB^A", rng=0)
+        relative = sampled_cut_discrepancy_mae(
+            small_power_law, sparsified, rng=3, relative=True
+        )
+        assert relative >= 0.0
+
+    def test_good_sparsifier_beats_naive(self, small_power_law):
+        """GDB must preserve cuts better than raw random edge deletion."""
+        good = sparsify(small_power_law, 0.4, variant="GDB^A-t", rng=0)
+        naive = sparsify(small_power_law, 0.4, variant="RANDOM", rng=0)
+        cut_sets = sample_cut_sets(
+            small_power_law.number_of_vertices(), samples_per_k=10, rng=4
+        )
+        assert sampled_cut_discrepancy_mae(
+            small_power_law, good, cut_sets=cut_sets
+        ) < sampled_cut_discrepancy_mae(
+            small_power_law, naive, cut_sets=cut_sets
+        )

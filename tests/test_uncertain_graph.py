@@ -1,0 +1,244 @@
+"""UncertainGraph: construction, mutation, views, invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import UncertainGraph
+from repro.exceptions import GraphError, ProbabilityError
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = UncertainGraph()
+        assert g.number_of_vertices() == 0
+        assert g.number_of_edges() == 0
+
+    def test_from_triples(self, triangle):
+        assert triangle.number_of_vertices() == 3
+        assert triangle.number_of_edges() == 3
+
+    def test_isolated_vertices(self):
+        g = UncertainGraph(vertices=["x", "y"])
+        assert g.number_of_vertices() == 2
+        assert g.number_of_edges() == 0
+
+    def test_repr_contains_counts(self, triangle):
+        assert "|V|=3" in repr(triangle)
+        assert "|E|=3" in repr(triangle)
+
+
+class TestEdges:
+    def test_add_edge_registers_vertices(self):
+        g = UncertainGraph()
+        g.add_edge(1, 2, 0.5)
+        assert 1 in g and 2 in g
+
+    def test_probability_symmetric(self, triangle):
+        assert triangle.probability("a", "b") == triangle.probability("b", "a")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            UncertainGraph([(1, 1, 0.5)])
+
+    @pytest.mark.parametrize("p", [0.0, -0.1, 1.1, float("nan")])
+    def test_invalid_probability_rejected(self, p):
+        with pytest.raises(ProbabilityError):
+            UncertainGraph([(1, 2, p)])
+
+    def test_probability_one_allowed(self):
+        g = UncertainGraph([(1, 2, 1.0)])
+        assert g.probability(1, 2) == 1.0
+
+    def test_set_probability(self, triangle):
+        triangle.set_probability("a", "b", 0.9)
+        assert triangle.probability("a", "b") == 0.9
+        assert triangle.probability("b", "a") == 0.9
+
+    def test_set_probability_missing_edge_raises(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.set_probability("a", "zzz", 0.5)
+
+    def test_remove_edge_returns_probability(self, triangle):
+        assert triangle.remove_edge("a", "b") == 0.5
+        assert not triangle.has_edge("a", "b")
+        assert triangle.number_of_edges() == 2
+
+    def test_remove_missing_edge_raises(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.remove_edge("a", "nope")
+
+    def test_remove_vertex_removes_incident_edges(self, triangle):
+        triangle.remove_vertex("b")
+        assert triangle.number_of_edges() == 1
+        assert "b" not in triangle
+
+    def test_edges_iterates_each_once(self, triangle):
+        edges = list(triangle.edges())
+        assert len(edges) == 3
+        keys = {frozenset((u, v)) for u, v, _ in edges}
+        assert len(keys) == 3
+
+
+class TestDegrees:
+    def test_expected_degree(self, triangle):
+        assert triangle.expected_degree("a") == pytest.approx(1.5)
+        assert triangle.expected_degree("b") == pytest.approx(0.75)
+
+    def test_expected_degrees_map(self, triangle):
+        degrees = triangle.expected_degrees()
+        assert degrees["c"] == pytest.approx(1.25)
+
+    def test_degree_counts_edges(self, triangle):
+        assert triangle.degree("a") == 2
+
+    def test_missing_vertex_raises(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.expected_degree("missing")
+
+    def test_sum_expected_degrees_is_twice_mass(self, small_power_law):
+        total = sum(small_power_law.expected_degrees().values())
+        assert total == pytest.approx(2 * small_power_law.expected_number_of_edges())
+
+
+class TestVectorViews:
+    def test_probability_array_aligned_with_edge_list(self, triangle):
+        edges = triangle.edge_list()
+        probs = triangle.probability_array()
+        for (u, v), p in zip(edges, probs):
+            assert triangle.probability(u, v) == p
+
+    def test_probability_array_is_readonly(self, triangle):
+        arr = triangle.probability_array()
+        with pytest.raises(ValueError):
+            arr[0] = 0.1
+
+    def test_cache_invalidated_on_mutation(self, triangle):
+        before = len(triangle.edge_list())
+        triangle.remove_edge("a", "b")
+        assert len(triangle.edge_list()) == before - 1
+
+    def test_edge_index_array_shape(self, small_power_law):
+        arr = small_power_law.edge_index_array()
+        assert arr.shape == (small_power_law.number_of_edges(), 2)
+        assert arr.min() >= 0
+        assert arr.max() < small_power_law.number_of_vertices()
+
+    def test_expected_degree_array_matches_map(self, small_power_law):
+        array = small_power_law.expected_degree_array()
+        indexer = small_power_law.vertex_indexer()
+        for vertex, idx in indexer.items():
+            assert array[idx] == pytest.approx(
+                small_power_law.expected_degree(vertex)
+            )
+
+
+class TestStructure:
+    def test_connected(self, path4):
+        assert path4.is_connected()
+
+    def test_disconnected(self):
+        g = UncertainGraph([(0, 1, 0.5), (2, 3, 0.5)])
+        assert not g.is_connected()
+        components = g.connected_components()
+        assert sorted(len(c) for c in components) == [2, 2]
+
+    def test_single_vertex_is_connected(self):
+        assert UncertainGraph(vertices=[0]).is_connected()
+
+    def test_density_triangle(self, triangle):
+        assert triangle.density() == pytest.approx(1.0)
+
+    def test_expected_cut_size_singleton_is_degree(self, triangle):
+        assert triangle.expected_cut_size(["a"]) == pytest.approx(
+            triangle.expected_degree("a")
+        )
+
+    def test_expected_cut_size_pair(self, triangle):
+        # S = {a, b}: crossing edges are (a,c)=1.0 and (b,c)=0.25
+        assert triangle.expected_cut_size(["a", "b"]) == pytest.approx(1.25)
+
+    def test_expected_cut_full_set_is_zero(self, triangle):
+        assert triangle.expected_cut_size(["a", "b", "c"]) == 0.0
+
+    def test_cut_unknown_vertex_raises(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.expected_cut_size(["nope"])
+
+
+class TestCopiesAndConversions:
+    def test_copy_is_deep(self, triangle):
+        clone = triangle.copy()
+        clone.set_probability("a", "b", 0.99)
+        assert triangle.probability("a", "b") == 0.5
+
+    def test_subgraph_with_edges_keeps_vertices(self, triangle):
+        sub = triangle.subgraph_with_edges([("a", "b", 0.7)])
+        assert sub.number_of_vertices() == 3
+        assert sub.number_of_edges() == 1
+        assert sub.probability("a", "b") == 0.7
+
+    def test_subgraph_with_foreign_edge_raises(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.subgraph_with_edges([("a", "zzz", 0.5)])
+
+    def test_induced_subgraph(self, triangle):
+        sub = triangle.induced_subgraph(["a", "b"])
+        assert sub.number_of_vertices() == 2
+        assert sub.number_of_edges() == 1
+
+    def test_relabel_to_integers_isomorphic(self, triangle):
+        relabeled, mapping = triangle.relabel_to_integers()
+        assert set(mapping.values()) == {0, 1, 2}
+        assert relabeled.number_of_edges() == 3
+        assert relabeled.probability(mapping["a"], mapping["b"]) == 0.5
+
+    def test_networkx_roundtrip(self, triangle):
+        nx_graph = triangle.to_networkx()
+        back = UncertainGraph.from_networkx(nx_graph)
+        assert back.isomorphic_probabilities(triangle)
+
+    def test_from_networkx_missing_attr_raises(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_edge(1, 2)
+        with pytest.raises(GraphError):
+            UncertainGraph.from_networkx(g)
+
+    def test_isomorphic_probabilities_tolerance(self, triangle):
+        other = triangle.copy()
+        other.set_probability("a", "b", 0.5 + 1e-12)
+        assert triangle.isomorphic_probabilities(other)
+        other.set_probability("a", "b", 0.6)
+        assert not triangle.isomorphic_probabilities(other)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    edges=st.lists(
+        st.tuples(
+            st.integers(0, 15),
+            st.integers(0, 15),
+            st.floats(min_value=0.01, max_value=1.0),
+        ),
+        max_size=60,
+    )
+)
+def test_property_edge_count_consistent(edges):
+    g = UncertainGraph()
+    expected = {}
+    for u, v, p in edges:
+        if u == v:
+            continue
+        g.add_edge(u, v, p)
+        expected[frozenset((u, v))] = p
+    assert g.number_of_edges() == len(expected)
+    for key, p in expected.items():
+        u, v = tuple(key)
+        assert g.probability(u, v) == pytest.approx(p)
+    # Total expected degree equals twice the probability mass.
+    assert sum(g.expected_degrees().values()) == pytest.approx(
+        2 * sum(expected.values())
+    )

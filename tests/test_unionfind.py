@@ -1,0 +1,69 @@
+"""Union-find: unions, finds, component counts, reset."""
+
+import pytest
+
+from repro.utils.unionfind import UnionFind
+
+
+def test_initial_state_is_singletons():
+    uf = UnionFind(5)
+    assert uf.components == 5
+    assert all(uf.find(i) == i for i in range(5))
+
+
+def test_union_merges_components():
+    uf = UnionFind(4)
+    assert uf.union(0, 1) is True
+    assert uf.components == 3
+    assert uf.connected(0, 1)
+    assert not uf.connected(0, 2)
+
+
+def test_union_same_set_returns_false():
+    uf = UnionFind(3)
+    uf.union(0, 1)
+    assert uf.union(1, 0) is False
+    assert uf.components == 2
+
+
+def test_transitive_connectivity():
+    uf = UnionFind(6)
+    uf.union(0, 1)
+    uf.union(1, 2)
+    uf.union(3, 4)
+    assert uf.connected(0, 2)
+    assert not uf.connected(2, 3)
+    uf.union(2, 3)
+    assert uf.connected(0, 4)
+
+
+def test_chain_of_unions_single_component():
+    n = 100
+    uf = UnionFind(n)
+    for i in range(n - 1):
+        uf.union(i, i + 1)
+    assert uf.components == 1
+    assert uf.connected(0, n - 1)
+
+
+def test_reset_restores_singletons():
+    uf = UnionFind(4)
+    uf.union(0, 1)
+    uf.union(2, 3)
+    uf.reset()
+    assert uf.components == 4
+    assert not uf.connected(0, 1)
+
+
+def test_len_reports_universe_size():
+    assert len(UnionFind(7)) == 7
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        UnionFind(-1)
+
+
+def test_zero_size_allowed():
+    uf = UnionFind(0)
+    assert uf.components == 0

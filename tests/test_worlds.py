@@ -1,0 +1,165 @@
+"""Possible worlds: CSR construction, BFS, connectivity, clustering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import UncertainGraph
+from repro.datasets import flickr_like
+from repro.sampling import World, WorldSampler
+
+
+def full_world(graph):
+    sampler = WorldSampler(graph)
+    return sampler.world_from_mask(np.ones(sampler.m, dtype=bool))
+
+
+class TestWorldStructure:
+    def test_full_world_edge_count(self, triangle):
+        world = full_world(triangle)
+        assert world.number_of_edges() == 3
+
+    def test_empty_world(self, triangle):
+        sampler = WorldSampler(triangle)
+        world = sampler.world_from_mask(np.zeros(3, dtype=bool))
+        assert world.number_of_edges() == 0
+        assert np.all(world.degrees() == 0)
+
+    def test_degrees_match_adjacency(self, small_power_law):
+        world = full_world(small_power_law)
+        indexer = small_power_law.vertex_indexer()
+        for vertex, idx in indexer.items():
+            assert world.degrees()[idx] == small_power_law.degree(vertex)
+
+    def test_neighbors_symmetric(self, path4):
+        world = full_world(path4)
+        assert 1 in world.neighbors(0)
+        assert 0 in world.neighbors(1)
+
+    def test_mask_shape_validated(self, triangle):
+        sampler = WorldSampler(triangle)
+        with pytest.raises(ValueError):
+            sampler.world_from_mask(np.ones(5, dtype=bool))
+
+
+class TestTraversal:
+    def test_bfs_distances_on_path(self, path4):
+        world = full_world(path4)
+        dist = world.bfs_distances(0)
+        assert list(dist) == [0, 1, 2, 3]
+
+    def test_bfs_unreachable_is_minus_one(self):
+        g = UncertainGraph([(0, 1, 1.0), (2, 3, 1.0)])
+        world = full_world(g)
+        dist = world.bfs_distances(0)
+        assert dist[1] == 1 and dist[2] == -1 and dist[3] == -1
+
+    def test_bfs_matches_networkx(self):
+        import networkx as nx
+
+        g = flickr_like(n=50, avg_degree=8, seed=4)
+        world = full_world(g)
+        nx_graph = nx.Graph(list((u, v) for u, v, _ in g.edges()))
+        indexer = g.vertex_indexer()
+        source_vertex = g.vertices()[0]
+        expected = nx.single_source_shortest_path_length(nx_graph, source_vertex)
+        dist = world.bfs_distances(indexer[source_vertex])
+        for vertex, d in expected.items():
+            assert dist[indexer[vertex]] == d
+
+    def test_reachable_from(self):
+        g = UncertainGraph([(0, 1, 1.0), (2, 3, 1.0)])
+        world = full_world(g)
+        reach = world.reachable_from(0)
+        assert list(reach) == [True, True, False, False]
+
+    def test_connectivity(self, path4):
+        assert full_world(path4).is_connected()
+
+    def test_component_count(self):
+        g = UncertainGraph([(0, 1, 1.0), (2, 3, 1.0)], vertices=[4])
+        world = full_world(g)
+        assert not world.is_connected()
+        assert world.connected_component_count() == 3
+
+    def test_single_vertex_world_connected(self):
+        g = UncertainGraph(vertices=[0])
+        sampler = WorldSampler(g)
+        assert sampler.world_from_mask(np.zeros(0, dtype=bool)).is_connected()
+
+
+class TestClustering:
+    def test_triangle_coefficients_are_one(self, triangle):
+        world = full_world(triangle)
+        assert np.allclose(world.clustering_coefficients(), 1.0)
+
+    def test_path_coefficients_are_zero(self, path4):
+        world = full_world(path4)
+        assert np.allclose(world.clustering_coefficients(), 0.0)
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        g = flickr_like(n=40, avg_degree=10, seed=9)
+        world = full_world(g)
+        nx_graph = nx.Graph(list((u, v) for u, v, _ in g.edges()))
+        nx_graph.add_nodes_from(g.vertices())
+        expected = nx.clustering(nx_graph)
+        coefficients = world.clustering_coefficients()
+        indexer = g.vertex_indexer()
+        for vertex, cc in expected.items():
+            assert coefficients[indexer[vertex]] == pytest.approx(cc)
+
+
+class TestSampler:
+    def test_deterministic_edges_always_present(self):
+        g = UncertainGraph([(0, 1, 1.0), (1, 2, 0.5)])
+        sampler = WorldSampler(g)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            mask = sampler.sample_mask(rng)
+            assert mask[0]  # p = 1 edge must exist in every world
+
+    def test_sampling_frequency_matches_probability(self, small_power_law):
+        sampler = WorldSampler(small_power_law)
+        rng = np.random.default_rng(1)
+        counts = np.zeros(sampler.m)
+        trials = 400
+        for _ in range(trials):
+            counts += sampler.sample_mask(rng)
+        freq = counts / trials
+        # 4-sigma tolerance per edge
+        sigma = np.sqrt(sampler.probabilities * (1 - sampler.probabilities) / trials)
+        assert np.all(np.abs(freq - sampler.probabilities) < 4 * sigma + 0.02)
+
+    def test_sample_many_count(self, triangle):
+        sampler = WorldSampler(triangle)
+        worlds = list(sampler.sample_many(7, rng=0))
+        assert len(worlds) == 7
+
+    def test_log_world_probability(self):
+        g = UncertainGraph([(0, 1, 0.5), (1, 2, 0.25), (0, 2, 0.8)])
+        sampler = WorldSampler(g)
+        mask = np.array([True, False, True])
+        p = sampler.probabilities
+        expected = np.log(p[0]) + np.log(1 - p[1]) + np.log(p[2])
+        assert sampler.log_world_probability(mask) == pytest.approx(expected)
+
+    def test_log_world_probability_impossible_world(self, triangle):
+        """Dropping a p = 1 edge yields log-probability -inf."""
+        sampler = WorldSampler(triangle)
+        probs = sampler.probabilities
+        mask = probs < 1.0  # drop exactly the deterministic edge(s)
+        assert sampler.log_world_probability(mask) == float("-inf")
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 500))
+def test_property_world_edges_subset_and_counts(seed):
+    g = flickr_like(n=25, avg_degree=6, seed=seed % 3)
+    sampler = WorldSampler(g)
+    world = sampler.sample(rng=seed)
+    degrees = world.degrees()
+    assert degrees.sum() == 2 * world.number_of_edges()
+    assert world.number_of_edges() <= g.number_of_edges()
