@@ -108,6 +108,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="random vertex pairs for reliability/distance",
     )
     estimate_cmd.add_argument("--seed", type=int, default=0, help="RNG seed")
+    estimate_cmd.add_argument(
+        "--batch-size", type=int, default=None,
+        help="worlds per batch chunk (default: auto-sized from memory)",
+    )
+    estimate_cmd.add_argument(
+        "--no-batch", action="store_true",
+        help="evaluate worlds one at a time (legacy path)",
+    )
 
     diagnose_cmd = sub.add_parser(
         "diagnose", help="sparsification diagnostics for a (G, G') pair"
@@ -210,10 +218,17 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         query = ClusteringCoefficientQuery(n)
     else:
         query = ConnectivityQuery()
-    estimator = MonteCarloEstimator(graph, n_samples=args.samples)
+    estimator = MonteCarloEstimator(
+        graph,
+        n_samples=args.samples,
+        batch_size=args.batch_size,
+        batched=not args.no_batch,
+    )
     result = estimator.run(query, rng=args.seed)
     print(f"query:            {args.query}")
     print(f"worlds sampled:   {args.samples}")
+    print(f"evaluation:       "
+          f"{'per-world (legacy)' if args.no_batch else 'batched'}")
     print(f"scalar estimate:  {result.scalar_estimate():.6f}")
     print(f"95% CI width:     {result.confidence_width():.6f}")
     return 0

@@ -20,7 +20,8 @@ integer ids use :meth:`vertex_indexer`.
 
 from __future__ import annotations
 
-from collections.abc import Hashable, Iterable, Iterator
+import types
+from collections.abc import Hashable, Iterable, Iterator, Mapping
 from typing import Any
 
 import numpy as np
@@ -72,6 +73,8 @@ class UncertainGraph:
         self._adj: dict[Vertex, dict[Vertex, float]] = {}
         self.name = name
         self._edge_cache: tuple[list[Edge], np.ndarray] | None = None
+        self._indexer_cache: dict[Vertex, int] | None = None
+        self._edge_index_cache: np.ndarray | None = None
         if vertices is not None:
             for v in vertices:
                 self.add_vertex(v)
@@ -116,10 +119,15 @@ class UncertainGraph:
                 if v not in seen:
                     yield u, v, p
 
-    def neighbors(self, vertex: Vertex) -> dict[Vertex, float]:
-        """Mapping ``neighbor -> probability`` for ``vertex`` (a copy-safe view)."""
+    def neighbors(self, vertex: Vertex) -> Mapping[Vertex, float]:
+        """Read-only mapping ``neighbor -> probability`` for ``vertex``.
+
+        The returned proxy is a live *view* of the adjacency — it
+        reflects later mutations but cannot be written through, so
+        callers can't corrupt the graph's internal state.
+        """
         try:
-            return self._adj[vertex]
+            return types.MappingProxyType(self._adj[vertex])
         except KeyError:
             raise GraphError(f"vertex not in graph: {vertex!r}") from None
 
@@ -157,11 +165,16 @@ class UncertainGraph:
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
+    def _invalidate_caches(self) -> None:
+        self._edge_cache = None
+        self._indexer_cache = None
+        self._edge_index_cache = None
+
     def add_vertex(self, vertex: Vertex) -> None:
         """Register a vertex (no-op if already present)."""
         if vertex not in self._adj:
             self._adj[vertex] = {}
-            self._edge_cache = None
+            self._invalidate_caches()
 
     def add_edge(self, u: Vertex, v: Vertex, p: float) -> None:
         """Add (or overwrite) the undirected edge ``(u, v)`` with probability ``p``."""
@@ -172,7 +185,7 @@ class UncertainGraph:
         self.add_vertex(v)
         self._adj[u][v] = p
         self._adj[v][u] = p
-        self._edge_cache = None
+        self._invalidate_caches()
 
     def set_probability(self, u: Vertex, v: Vertex, p: float) -> None:
         """Update the probability of an existing edge."""
@@ -181,7 +194,7 @@ class UncertainGraph:
         p = _validate_probability(p)
         self._adj[u][v] = p
         self._adj[v][u] = p
-        self._edge_cache = None
+        self._invalidate_caches()
 
     def remove_edge(self, u: Vertex, v: Vertex) -> float:
         """Remove edge ``(u, v)``; returns its probability."""
@@ -189,7 +202,7 @@ class UncertainGraph:
             raise GraphError(f"edge not in graph: ({u!r}, {v!r})")
         p = self._adj[u].pop(v)
         self._adj[v].pop(u)
-        self._edge_cache = None
+        self._invalidate_caches()
         return p
 
     def remove_vertex(self, vertex: Vertex) -> None:
@@ -198,14 +211,20 @@ class UncertainGraph:
         for other in list(nbrs):
             self._adj[other].pop(vertex)
         del self._adj[vertex]
-        self._edge_cache = None
+        self._invalidate_caches()
 
     # ------------------------------------------------------------------
     # Vectorised views
     # ------------------------------------------------------------------
     def vertex_indexer(self) -> dict[Vertex, int]:
-        """Map each vertex to a dense integer id (insertion order)."""
-        return {v: i for i, v in enumerate(self._adj)}
+        """Map each vertex to a dense integer id (insertion order).
+
+        Cached until the vertex set mutates; treat the returned dict as
+        read-only (it is shared between callers).
+        """
+        if self._indexer_cache is None:
+            self._indexer_cache = {v: i for i, v in enumerate(self._adj)}
+        return self._indexer_cache
 
     def _build_edge_cache(self) -> tuple[list[Edge], np.ndarray]:
         if self._edge_cache is None:
@@ -228,14 +247,21 @@ class UncertainGraph:
         return arr
 
     def edge_index_array(self) -> np.ndarray:
-        """``(m, 2)`` int array of dense vertex ids aligned with :meth:`edge_list`."""
-        indexer = self.vertex_indexer()
-        edge_list = self.edge_list()
-        out = np.empty((len(edge_list), 2), dtype=np.int64)
-        for i, (u, v) in enumerate(edge_list):
-            out[i, 0] = indexer[u]
-            out[i, 1] = indexer[v]
-        return out
+        """``(m, 2)`` int array of dense vertex ids aligned with :meth:`edge_list`.
+
+        Cached until mutation (the samplers and every sparsifier request
+        it repeatedly) and returned read-only.
+        """
+        if self._edge_index_cache is None:
+            indexer = self.vertex_indexer()
+            edge_list = self.edge_list()
+            out = np.empty((len(edge_list), 2), dtype=np.int64)
+            for i, (u, v) in enumerate(edge_list):
+                out[i, 0] = indexer[u]
+                out[i, 1] = indexer[v]
+            out.setflags(write=False)
+            self._edge_index_cache = out
+        return self._edge_index_cache
 
     def expected_degree_array(self) -> np.ndarray:
         """Expected degrees as a vector aligned with :meth:`vertex_indexer`."""
@@ -332,7 +358,8 @@ class UncertainGraph:
 
     def relabel_to_integers(self) -> tuple["UncertainGraph", dict[Vertex, int]]:
         """Return an isomorphic copy on vertices ``0..n-1`` plus the mapping."""
-        mapping = self.vertex_indexer()
+        # Copy: the caller owns the returned mapping, not the cache.
+        mapping = dict(self.vertex_indexer())
         out = UncertainGraph(vertices=range(len(mapping)), name=self.name)
         for u, v, p in self.edges():
             out.add_edge(mapping[u], mapping[v], p)

@@ -19,9 +19,8 @@ from repro.experiments.common import (
     make_twitter_proxy,
 )
 from repro.experiments.fig06 import COMPARISON_METHODS
-from repro.experiments.queries_common import QUERY_NAMES, build_queries
+from repro.experiments.queries_common import QUERY_NAMES, build_queries, make_estimator
 from repro.metrics import mean_earth_movers_distance
-from repro.sampling import MonteCarloEstimator
 
 
 def query_quality_tables(
@@ -35,7 +34,7 @@ def query_quality_tables(
     """One ``D_em`` table per query for one dataset."""
     alphas = alphas or scale.alphas
     queries = build_queries(graph, scale, seed=seed, names=query_names)
-    estimator = MonteCarloEstimator(graph, n_samples=scale.mc_samples)
+    estimator = make_estimator(graph, scale)
     baseline_outcomes = {
         name: estimator.run(query, rng=seed).outcomes
         for name, query in queries.items()
@@ -51,9 +50,7 @@ def query_quality_tables(
         rows = {name: [method] for name in queries}
         for alpha in alphas:
             sparsified = sparsify(graph, alpha, variant=method, rng=seed)
-            sparse_estimator = MonteCarloEstimator(
-                sparsified, n_samples=scale.mc_samples
-            )
+            sparse_estimator = make_estimator(sparsified, scale)
             for name, query in queries.items():
                 outcomes = sparse_estimator.run(query, rng=seed + 1).outcomes
                 rows[name].append(

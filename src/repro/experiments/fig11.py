@@ -13,9 +13,8 @@ from repro.core import sparsify
 from repro.experiments.common import ExperimentScale, ResultTable, SMALL
 from repro.experiments.fig06 import COMPARISON_METHODS
 from repro.experiments.fig07 import make_density_sweep
-from repro.experiments.queries_common import build_queries
+from repro.experiments.queries_common import build_queries, make_estimator
 from repro.metrics import mean_earth_movers_distance
-from repro.sampling import MonteCarloEstimator
 
 
 def run_fig11(
@@ -37,16 +36,14 @@ def run_fig11(
     rows = {name: {m: [m] for m in COMPARISON_METHODS} for name in query_names}
     for graph in graphs.values():
         queries = build_queries(graph, scale, seed=seed, names=query_names)
-        estimator = MonteCarloEstimator(graph, n_samples=scale.mc_samples)
+        estimator = make_estimator(graph, scale)
         baseline = {
             name: estimator.run(query, rng=seed).outcomes
             for name, query in queries.items()
         }
         for method in COMPARISON_METHODS:
             sparsified = sparsify(graph, alpha, variant=method, rng=seed)
-            sparse_estimator = MonteCarloEstimator(
-                sparsified, n_samples=scale.mc_samples
-            )
+            sparse_estimator = make_estimator(sparsified, scale)
             for name, query in queries.items():
                 outcomes = sparse_estimator.run(query, rng=seed + 1).outcomes
                 rows[name][method].append(

@@ -11,8 +11,28 @@ from repro.queries import (
     ShortestPathQuery,
     sample_vertex_pairs,
 )
+from repro.sampling import MonteCarloEstimator
 
 QUERY_NAMES = ("PR", "SP", "RL", "CC")
+
+
+def make_estimator(
+    graph: UncertainGraph,
+    scale: ExperimentScale,
+    n_samples: int | None = None,
+) -> MonteCarloEstimator:
+    """Estimator honouring the scale's batching knobs.
+
+    Every query experiment builds its estimators through this helper so
+    one scale object configures the whole pipeline (world budget, chunk
+    size, batched/legacy path).
+    """
+    return MonteCarloEstimator(
+        graph,
+        n_samples=scale.mc_samples if n_samples is None else n_samples,
+        batch_size=scale.mc_batch_size,
+        batched=scale.mc_batched,
+    )
 
 
 def build_queries(

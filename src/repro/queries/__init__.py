@@ -5,7 +5,7 @@ path distance (SP), reliability (RL), clustering coefficient (CC) — plus
 connectivity (the introductory example) and degrees (test oracle).
 """
 
-from repro.queries.base import Query
+from repro.queries.base import BatchQuery, Query, evaluate_query_batch
 from repro.queries.clustering import ClusteringCoefficientQuery
 from repro.queries.connectivity import ComponentCountQuery, ConnectivityQuery
 from repro.queries.degree import DegreeQuery
@@ -15,11 +15,12 @@ from repro.queries.knn import (
     majority_distances,
     median_distances,
 )
-from repro.queries.pagerank import PageRankQuery, world_pagerank
+from repro.queries.pagerank import PageRankQuery, batch_pagerank, world_pagerank
 from repro.queries.reliability import ReliabilityQuery
 from repro.queries.shortest_path import ShortestPathQuery, sample_vertex_pairs
 
 __all__ = [
+    "BatchQuery",
     "ClusteringCoefficientQuery",
     "ComponentCountQuery",
     "ConnectivityQuery",
@@ -29,6 +30,8 @@ __all__ = [
     "ReliabilityQuery",
     "ShortestPathQuery",
     "SourceDistanceQuery",
+    "batch_pagerank",
+    "evaluate_query_batch",
     "k_nearest_neighbors",
     "majority_distances",
     "median_distances",

@@ -10,15 +10,29 @@ exclusion, matching the paper's SP protocol.
 Queries are stateless with respect to worlds and reusable across graphs
 *with the same vertex indexing* (the sparsified graphs keep the vertex
 set, so one query object serves both ``G`` and ``G'``).
+
+Batched evaluation
+------------------
+The estimators hand queries a whole
+:class:`~repro.sampling.batch.WorldBatch` at a time.  Queries that
+implement :class:`BatchQuery` evaluate the ensemble with dense array
+kernels; for anything else :func:`evaluate_query_batch` falls back to
+the per-world protocol, so third-party queries keep working unchanged.
+Native batch kernels must return exactly what stacking the per-world
+``evaluate`` results would — the seeded property tests in
+``tests/test_batch.py`` hold every built-in query to that contract.
 """
 
 from __future__ import annotations
 
-from typing import Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.sampling.worlds import World
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sampling.batch import WorldBatch
 
 
 @runtime_checkable
@@ -35,3 +49,29 @@ class Query(Protocol):
     def unit_count(self) -> int:
         """Number of evaluation units (vertices, pairs, or 1 for scalars)."""
         ...
+
+
+@runtime_checkable
+class BatchQuery(Query, Protocol):
+    """A query with a native world-ensemble kernel."""
+
+    def evaluate_batch(self, batch: "WorldBatch") -> np.ndarray:
+        """Return the ``(n_worlds, units)`` outcome matrix of the ensemble."""
+        ...
+
+
+def evaluate_query_batch(query: Query, batch: "WorldBatch") -> np.ndarray:
+    """Evaluate ``query`` on every world of ``batch`` as ``(N, units)``.
+
+    Dispatches to the query's native :meth:`BatchQuery.evaluate_batch`
+    kernel when present; otherwise adapts the per-world protocol by
+    materialising each world of the ensemble in turn (correct for any
+    :class:`Query`, but pays the legacy per-world interpreter cost).
+    """
+    native = getattr(query, "evaluate_batch", None)
+    if callable(native):
+        return np.asarray(native(batch), dtype=np.float64)
+    outcomes = np.empty((batch.n_worlds, query.unit_count()), dtype=np.float64)
+    for i, world in enumerate(batch.iter_worlds()):
+        outcomes[i] = query.evaluate(world)
+    return outcomes

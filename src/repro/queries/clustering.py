@@ -7,9 +7,14 @@ degree < 2 score 0 in that world.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.sampling.worlds import World
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sampling.batch import WorldBatch
 
 
 class ClusteringCoefficientQuery:
@@ -25,3 +30,7 @@ class ClusteringCoefficientQuery:
 
     def evaluate(self, world: World) -> np.ndarray:
         return world.clustering_coefficients()
+
+    def evaluate_batch(self, batch: "WorldBatch") -> np.ndarray:
+        """Batched triangle counting over the parent triangle table."""
+        return batch.clustering_coefficients()

@@ -8,9 +8,14 @@ are reproduced in the tests and the ``fig01`` benchmark.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.sampling.worlds import World
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sampling.batch import WorldBatch
 
 
 class ConnectivityQuery:
@@ -24,6 +29,10 @@ class ConnectivityQuery:
     def evaluate(self, world: World) -> np.ndarray:
         return np.array([1.0 if world.is_connected() else 0.0])
 
+    def evaluate_batch(self, batch: "WorldBatch") -> np.ndarray:
+        """One batched BFS from vertex 0 answers every world at once."""
+        return batch.is_connected().astype(np.float64)[:, None]
+
 
 class ComponentCountQuery:
     """Scalar outcome: number of connected components of the world."""
@@ -35,3 +44,7 @@ class ComponentCountQuery:
 
     def evaluate(self, world: World) -> np.ndarray:
         return np.array([float(world.connected_component_count())])
+
+    def evaluate_batch(self, batch: "WorldBatch") -> np.ndarray:
+        """Component counts of all worlds via batched label propagation."""
+        return batch.connected_component_count().astype(np.float64)[:, None]

@@ -7,9 +7,14 @@ stack a closed-form target to validate against (used heavily in tests).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.sampling.worlds import World
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sampling.batch import WorldBatch
 
 
 class DegreeQuery:
@@ -25,3 +30,7 @@ class DegreeQuery:
 
     def evaluate(self, world: World) -> np.ndarray:
         return world.degrees().astype(np.float64)
+
+    def evaluate_batch(self, batch: "WorldBatch") -> np.ndarray:
+        """The whole degree matrix from one masked prefix-sum pass."""
+        return batch.degrees().astype(np.float64)

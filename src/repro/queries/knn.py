@@ -20,9 +20,14 @@ answer k-NN queries.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.sampling.worlds import World
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sampling.batch import WorldBatch
 
 #: Sentinel used in outcome matrices for "disconnected in this world".
 UNREACHABLE = np.inf
@@ -46,6 +51,12 @@ class SourceDistanceQuery:
 
     def evaluate(self, world: World) -> np.ndarray:
         dist = world.bfs_distances(self.source).astype(np.float64)
+        dist[dist < 0] = UNREACHABLE
+        return dist
+
+    def evaluate_batch(self, batch: "WorldBatch") -> np.ndarray:
+        """Source-to-all distances of every world from one batched BFS."""
+        dist = batch.bfs_distances(self.source).astype(np.float64)
         dist[dist < 0] = UNREACHABLE
         return dist
 

@@ -8,9 +8,14 @@ across worlds is the reliability.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.sampling.worlds import World
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sampling.batch import WorldBatch
 
 
 class ReliabilityQuery:
@@ -35,4 +40,13 @@ class ReliabilityQuery:
             reach = world.reachable_from(source)
             for idx, t in targets:
                 out[idx] = 1.0 if reach[t] else 0.0
+        return out
+
+    def evaluate_batch(self, batch: "WorldBatch") -> np.ndarray:
+        """All pairs over all worlds: one batched BFS per distinct source."""
+        out = np.zeros((batch.n_worlds, len(self.pairs)))
+        for source, targets in self._by_source.items():
+            reach = batch.reachable_from(source)
+            for idx, t in targets:
+                out[:, idx] = reach[:, t]
         return out

@@ -11,11 +11,16 @@ Pairs sharing a source are batched into a single BFS.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.core.uncertain_graph import UncertainGraph
 from repro.sampling.worlds import World
 from repro.utils.rng import ensure_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sampling.batch import WorldBatch
 
 
 def sample_vertex_pairs(
@@ -73,4 +78,21 @@ class ShortestPathQuery:
                 d = dist[t]
                 if d >= 0:
                     out[idx] = float(d)
+        return out
+
+    def evaluate_batch(self, batch: "WorldBatch") -> np.ndarray:
+        """One batched BFS per distinct source covers every world.
+
+        Each BFS retires a world as soon as that source's targets are
+        resolved (or provably unreachable), so worlds rarely pay for a
+        full traversal.
+        """
+        out = np.full((batch.n_worlds, len(self.pairs)), np.nan)
+        for source, targets in self._by_source.items():
+            wanted = [t for _, t in targets]
+            dist = batch.bfs_distances(source, targets=wanted)
+            for idx, t in targets:
+                d = dist[:, t]
+                connected = d >= 0
+                out[connected, idx] = d[connected]
         return out

@@ -2,14 +2,17 @@
 
 - :class:`~repro.sampling.worlds.WorldSampler` /
   :class:`~repro.sampling.worlds.World` — vectorised world sampling,
+- :class:`~repro.sampling.batch.WorldBatch` — world *ensembles*: all
+  sampled worlds evaluated at once as dense array programs,
 - :mod:`~repro.sampling.exact` — exhaustive enumeration (Eq. 1),
 - :class:`~repro.sampling.monte_carlo.MonteCarloEstimator` — the MC
-  query engine + variance protocol,
+  query engine + variance protocol (batched by default),
 - :class:`~repro.sampling.stratified.StratifiedEstimator` — stratified
   variant after [23].
 """
 
 from repro.sampling.adaptive import AdaptiveResult, adaptive_estimate, samples_to_width
+from repro.sampling.batch import BatchTopology, WorldBatch, auto_batch_size
 from repro.sampling.exact import (
     exact_connectivity_probability,
     exact_expectation,
@@ -29,12 +32,15 @@ from repro.sampling.worlds import World, WorldSampler
 
 __all__ = [
     "AdaptiveResult",
+    "BatchTopology",
     "EstimationResult",
     "adaptive_estimate",
+    "auto_batch_size",
     "samples_to_width",
     "MonteCarloEstimator",
     "StratifiedEstimator",
     "World",
+    "WorldBatch",
     "WorldSampler",
     "exact_connectivity_probability",
     "exact_expectation",

@@ -59,6 +59,7 @@ def adaptive_estimate(
     min_samples: int = 30,
     max_samples: int = 20_000,
     batch: int = 10,
+    batched: bool = True,
 ) -> AdaptiveResult:
     """Sample worlds until the 95% CI width falls below ``target_width``.
 
@@ -81,6 +82,10 @@ def adaptive_estimate(
         Hard cap; the result reports ``converged=False`` when hit.
     batch:
         Worlds per stopping-rule check.
+    batched:
+        Evaluate each draw through the ensemble kernels (default); the
+        sequential stopping rule sees the exact same per-world scalars
+        either way, so this only changes speed.
 
     Raises
     ------
@@ -97,12 +102,17 @@ def adaptive_estimate(
     values: list[float] = []
 
     def draw(count: int) -> None:
-        import warnings
+        from repro.queries.base import evaluate_query_batch
+        from repro.sampling.monte_carlo import warnings_suppressed
 
+        if batched:
+            outcomes = evaluate_query_batch(query, sampler.sample_batch(count, rng))
+            with warnings_suppressed():
+                values.extend(float(v) for v in np.nanmean(outcomes, axis=1))
+            return
         for world in sampler.sample_many(count, rng):
             outcome = query.evaluate(world)
-            with warnings.catch_warnings():
-                warnings.simplefilter("ignore", category=RuntimeWarning)
+            with warnings_suppressed():
                 values.append(float(np.nanmean(outcome)))
 
     draw(min_samples)

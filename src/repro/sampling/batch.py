@@ -1,0 +1,413 @@
+"""Batched world ensembles: all Monte-Carlo worlds as one array program.
+
+:class:`~repro.sampling.worlds.World` materialises a fresh CSR per
+sample, and every query walks worlds one at a time — ``N`` passes
+through the Python interpreter.  This module flips the layout: a
+:class:`WorldBatch` holds an ``(N, m)`` Bernoulli mask matrix over one
+shared parent CSR (:class:`BatchTopology`), and each graph primitive
+runs over *all* worlds simultaneously as dense NumPy kernels —
+
+- batched degrees via masked prefix sums over the shared CSR,
+- batched BFS with ``(worlds, vertices)`` boolean frontier matrices
+  (one scatter per level covers every world),
+- batched connected components via min-label propagation with pointer
+  jumping,
+- batched triangle counting from a precomputed parent triangle table.
+
+Every kernel is *bit-identical* to its per-world counterpart in
+:class:`~repro.sampling.worlds.World`: the alive directed edges of a
+world appear in the shared CSR in exactly the order the per-world CSR
+lists them (a stable sort restricted to a subsequence preserves order),
+and dead edges only ever contribute exact no-ops (``+0.0``, ``| False``,
+``min(.., n)``).  The equivalence is enforced by the seeded property
+tests in ``tests/test_batch.py``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.sampling.worlds import World
+
+#: Default memory budget (bytes) for one batch chunk's working arrays.
+DEFAULT_BATCH_BYTES = 64 * 1024 * 1024
+
+
+def auto_batch_size(
+    n_samples: int,
+    n_edges: int,
+    n_vertices: int = 0,
+    budget_bytes: int = DEFAULT_BATCH_BYTES,
+) -> int:
+    """Chunk size keeping one chunk's working set near ``budget_bytes``.
+
+    A world's batched footprint is dominated by one ``(B, 2m)`` float64
+    scratch row (pagerank pushes, BFS edge activations) plus a few
+    ``(B, n)`` state matrices; the estimate below leaves comfortable
+    headroom for both.
+    """
+    per_world = 16 * max(2 * n_edges, 1) + 32 * max(n_vertices, 1)
+    return int(max(1, min(n_samples, budget_bytes // per_world)))
+
+
+class BatchTopology:
+    """Shared parent-graph CSR reused by every chunk of a sampling run.
+
+    Directed edges are sorted by source with a stable sort — the same
+    construction :class:`~repro.sampling.worlds.World` applies to its
+    alive subset — so restricting the directed arrays to one world's
+    alive edges reproduces that world's CSR order exactly.
+
+    Attributes
+    ----------
+    indptr, indices:
+        Parent CSR over all ``2m`` directed edges.
+    dir_source:
+        Source vertex of each directed edge (sorted, ascending).
+    dir_edge:
+        Undirected parent-edge id of each directed edge — the column to
+        consult in a mask matrix.
+    """
+
+    __slots__ = (
+        "n", "m", "edge_vertices", "indptr", "indices", "dir_source",
+        "dir_edge", "_triangles",
+    )
+
+    def __init__(self, n: int, edge_vertices: np.ndarray) -> None:
+        self.n = int(n)
+        edge_vertices = np.asarray(edge_vertices, dtype=np.int64)
+        self.edge_vertices = edge_vertices
+        self.m = len(edge_vertices)
+        u = edge_vertices[:, 0]
+        v = edge_vertices[:, 1]
+        sources = np.concatenate([u, v])
+        targets = np.concatenate([v, u])
+        order = np.argsort(sources, kind="stable")
+        self.dir_source = sources[order]
+        self.indices = targets[order]
+        self.dir_edge = np.concatenate(
+            [np.arange(self.m), np.arange(self.m)]
+        )[order]
+        counts = np.bincount(sources, minlength=n)
+        self.indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        self._triangles: tuple[np.ndarray, np.ndarray] | None = None
+
+    def triangle_table(self) -> tuple[np.ndarray, np.ndarray]:
+        """Parent triangles as ``(corners (T, 3), edge_ids (T, 3))``.
+
+        Each triangle is listed once (``u < v < w``); built lazily and
+        cached since it only depends on the parent graph.
+        """
+        if self._triangles is None:
+            n, m = self.n, self.m
+            u, v = self.edge_vertices[:, 0], self.edge_vertices[:, 1]
+            lo, hi = np.minimum(u, v), np.maximum(u, v)
+            # Sorted key table for (endpoint pair) -> undirected edge id.
+            keys = lo * n + hi
+            key_order = np.argsort(keys, kind="stable")
+            sorted_keys = keys[key_order]
+            corners: list[np.ndarray] = []
+            edge_ids: list[np.ndarray] = []
+            indptr, indices, dir_edge = self.indptr, self.indices, self.dir_edge
+            for eid in range(m):
+                a, b = int(lo[eid]), int(hi[eid])
+                nbrs_b = indices[indptr[b]:indptr[b + 1]]
+                eids_b = dir_edge[indptr[b]:indptr[b + 1]]
+                # Close the wedge a-b-w with w > b so each triangle
+                # anchors at its lexicographically smallest edge.
+                grow = nbrs_b > b
+                if not grow.any():
+                    continue
+                cand_w = nbrs_b[grow]
+                probe = np.searchsorted(sorted_keys, a * n + cand_w)
+                probe = np.minimum(probe, m - 1)
+                closed = sorted_keys[probe] == a * n + cand_w
+                if not closed.any():
+                    continue
+                w_ids = cand_w[closed]
+                corners.append(
+                    np.stack([
+                        np.full(len(w_ids), a), np.full(len(w_ids), b), w_ids,
+                    ], axis=1)
+                )
+                edge_ids.append(
+                    np.stack([
+                        np.full(len(w_ids), eid),
+                        key_order[probe[closed]],
+                        eids_b[grow][closed],
+                    ], axis=1)
+                )
+            if corners:
+                self._triangles = (
+                    np.concatenate(corners).astype(np.int64),
+                    np.concatenate(edge_ids).astype(np.int64),
+                )
+            else:
+                self._triangles = (
+                    np.empty((0, 3), dtype=np.int64),
+                    np.empty((0, 3), dtype=np.int64),
+                )
+        return self._triangles
+
+
+class WorldBatch:
+    """An ensemble of ``N`` possible worlds evaluated as array programs.
+
+    Parameters
+    ----------
+    n:
+        Vertex count of the parent graph.
+    edge_vertices:
+        ``(m, 2)`` dense endpoint ids of the parent edges.
+    masks:
+        ``(N, m)`` boolean matrix; row ``i`` selects the alive edges of
+        world ``i``.
+    topology:
+        Optional precomputed :class:`BatchTopology` (one per graph —
+        the samplers cache and share it across chunks).
+
+    Examples
+    --------
+    >>> from repro.core import UncertainGraph
+    >>> from repro.sampling import WorldSampler
+    >>> g = UncertainGraph([(0, 1, 0.5), (1, 2, 1.0)])
+    >>> batch = WorldSampler(g).sample_batch(8, rng=0)
+    >>> batch.degrees().shape
+    (8, 3)
+    """
+
+    __slots__ = (
+        "n", "m", "n_worlds", "masks", "topology", "_alive_directed", "_labels",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        edge_vertices: np.ndarray,
+        masks: np.ndarray,
+        topology: BatchTopology | None = None,
+    ) -> None:
+        masks = np.asarray(masks, dtype=bool)
+        if masks.ndim != 2:
+            raise ValueError(f"masks must be 2-D (worlds, edges), got {masks.shape}")
+        self.n = int(n)
+        self.n_worlds, self.m = masks.shape
+        if len(edge_vertices) != self.m:
+            raise ValueError(
+                f"masks have {self.m} columns but the graph has "
+                f"{len(edge_vertices)} edges"
+            )
+        self.masks = masks
+        self.topology = topology if topology is not None else BatchTopology(
+            n, edge_vertices
+        )
+        self._alive_directed: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+
+    # -- per-world views ----------------------------------------------------
+    def world(self, index: int) -> World:
+        """Materialise world ``index`` as a legacy :class:`World`."""
+        return World(self.n, self.topology.edge_vertices, self.masks[index])
+
+    def iter_worlds(self) -> Iterator[World]:
+        """Yield every world of the ensemble as a legacy :class:`World`."""
+        for i in range(self.n_worlds):
+            yield self.world(i)
+
+    # -- basic structure ----------------------------------------------------
+    def alive_directed(self) -> np.ndarray:
+        """``(N, 2m)`` liveness of each directed CSR edge per world (cached)."""
+        if self._alive_directed is None:
+            self._alive_directed = self.masks[:, self.topology.dir_edge]
+        return self._alive_directed
+
+    def edge_counts(self) -> np.ndarray:
+        """``(N,)`` alive-edge count per world."""
+        return self.masks.sum(axis=1)
+
+    def degrees(self) -> np.ndarray:
+        """``(N, n)`` degree matrix (masked prefix sums over the CSR)."""
+        alive = self.alive_directed()
+        prefix = np.zeros((self.n_worlds, alive.shape[1] + 1), dtype=np.int64)
+        np.cumsum(alive, axis=1, out=prefix[:, 1:])
+        indptr = self.topology.indptr
+        return prefix[:, indptr[1:]] - prefix[:, indptr[:-1]]
+
+    # -- traversal -----------------------------------------------------------
+    def bfs_distances(
+        self, source: int, targets: "np.ndarray | list[int] | None" = None
+    ) -> np.ndarray:
+        """``(N, n)`` BFS distances from ``source`` in every world (-1 unreachable).
+
+        Each level expands the frontier of *all still-growing worlds* at
+        once: activate the directed edges leaving any frontier vertex,
+        scatter their targets through one flat ``bincount``, and retire
+        worlds whose frontier emptied.
+
+        With ``targets``, a world also retires as soon as every listed
+        vertex has a distance — its other entries may then still read
+        ``-1``, so only consume the target columns (the point-to-point
+        query optimisation; BFS levels are deterministic, so the target
+        distances are unaffected by the early exit).
+        """
+        N, n = self.n_worlds, self.n
+        dist = np.full((N, n), -1, dtype=np.int64)
+        dist[:, source] = 0
+        reached = np.zeros((N, n), dtype=bool)
+        reached[:, source] = True
+        alive = self.alive_directed()
+        src, dst = self.topology.dir_source, self.topology.indices
+        if targets is not None:
+            targets = np.asarray(targets, dtype=np.int64)
+        indptr = self.topology.indptr
+        rows = np.arange(N)
+        if targets is not None and targets.size:
+            rows = rows[~reached[:, targets].all(axis=1)]
+        frontier = np.zeros((N, n), dtype=bool)
+        frontier[:, source] = True
+        frontier = frontier[rows]
+        level = 0
+        while rows.size:
+            level += 1
+            # Hybrid expansion: wide frontiers activate edges with one
+            # contiguous pass; narrow ones gather only the CSR segments
+            # of vertices that front in *some* world, so the long tail
+            # of levels costs almost nothing.
+            cols = np.flatnonzero(frontier.any(axis=0))
+            lengths = indptr[cols + 1] - indptr[cols]
+            total = int(lengths.sum())
+            if total == 0:
+                break
+            if total * 4 >= alive.shape[1]:
+                active = alive[rows] & frontier[:, src]
+                w_loc, e_loc = np.nonzero(active)
+                if w_loc.size == 0:
+                    break
+                flat = w_loc * n + dst[e_loc]
+            else:
+                e_sub = np.repeat(
+                    indptr[cols]
+                    - np.concatenate([[0], np.cumsum(lengths)[:-1]]),
+                    lengths,
+                ) + np.arange(total)
+                src_sub = np.repeat(cols, lengths)
+                active = alive[np.ix_(rows, e_sub)] & frontier[:, src_sub]
+                w_loc, e_loc = np.nonzero(active)
+                if w_loc.size == 0:
+                    break
+                flat = w_loc * n + dst[e_sub[e_loc]]
+            hit = np.bincount(flat, minlength=rows.size * n)
+            hit = hit.reshape(rows.size, n).astype(bool)
+            new = hit & ~reached[rows]
+            w_new, v_new = np.nonzero(new)
+            if w_new.size == 0:
+                break
+            dist[rows[w_new], v_new] = level
+            reached[rows[w_new], v_new] = True
+            keep = new.any(axis=1)
+            if targets is not None and targets.size:
+                keep &= ~reached[np.ix_(rows, targets)].all(axis=1)
+            rows = rows[keep]
+            frontier = new[keep]
+        return dist
+
+    def reachable_from(self, source: int) -> np.ndarray:
+        """``(N, n)`` boolean reachability from ``source`` per world.
+
+        Reachability is component membership, so one (cached) label
+        propagation answers every source — much cheaper than a BFS per
+        source for multi-pair reliability workloads.
+        """
+        labels = self.component_labels()
+        return labels == labels[:, source][:, None]
+
+    def is_connected(self) -> np.ndarray:
+        """``(N,)`` booleans: world forms a single connected component."""
+        if self.n <= 1:
+            return np.ones(self.n_worlds, dtype=bool)
+        return self.connected_component_count() == 1
+
+    def component_labels(self) -> np.ndarray:
+        """``(N, n)`` labels: each vertex mapped to its component's min id.
+
+        Min-label propagation over the shared CSR with pointer jumping
+        (``label <- label[label]``) between rounds, so convergence takes
+        roughly log-diameter rounds instead of diameter.  Converged
+        worlds drop out of the working set each round.  Cached: every
+        connectivity-flavoured query on the batch shares one pass.
+        """
+        if self._labels is not None:
+            return self._labels
+        N, n = self.n_worlds, self.n
+        labels = np.tile(np.arange(n, dtype=np.int32), (N, 1))
+        if self.m == 0 or n == 0:
+            self._labels = labels
+            return labels
+        alive = self.alive_directed()
+        indptr, dst = self.topology.indptr, self.topology.indices
+        empty = np.diff(indptr) == 0
+        starts = indptr[:-1]
+        sentinel = np.int32(n)
+        rows = np.arange(N)
+        while rows.size:
+            current = labels[rows]
+            # Min neighbour label per vertex: the CSR groups each
+            # vertex's incident edges contiguously; a sentinel column
+            # keeps reduceat well-defined for the trailing segment.
+            cand = np.where(alive[rows], current[:, dst], sentinel)
+            padded = np.concatenate(
+                [cand, np.full((rows.size, 1), sentinel, dtype=np.int32)],
+                axis=1,
+            )
+            mins = np.minimum.reduceat(padded, starts, axis=1)
+            mins[:, empty] = sentinel
+            new = np.minimum(current, mins)
+            # Pointer jumping: labels are vertex ids of the same
+            # component, so chasing them compresses chains.
+            new = np.take_along_axis(new, new, axis=1)
+            new = np.take_along_axis(new, new, axis=1)
+            changed = (new != current).any(axis=1)
+            labels[rows] = new
+            rows = rows[changed]
+        self._labels = labels
+        return labels
+
+    def connected_component_count(self) -> np.ndarray:
+        """``(N,)`` number of connected components per world."""
+        labels = self.component_labels()
+        roots = labels == np.arange(self.n, dtype=np.int32)
+        return roots.sum(axis=1)
+
+    # -- local structure -----------------------------------------------------
+    def triangle_counts(self) -> np.ndarray:
+        """``(N, n)`` triangles through each vertex in each world."""
+        N, n = self.n_worlds, self.n
+        corners, edge_ids = self.topology.triangle_table()
+        counts = np.zeros((N, n), dtype=np.int64)
+        if len(corners) == 0:
+            return counts
+        masks = self.masks
+        tri_alive = (
+            masks[:, edge_ids[:, 0]]
+            & masks[:, edge_ids[:, 1]]
+            & masks[:, edge_ids[:, 2]]
+        )
+        w_idx, t_idx = np.nonzero(tri_alive)
+        if w_idx.size == 0:
+            return counts
+        for corner in range(3):
+            flat = w_idx * n + corners[t_idx, corner]
+            counts += np.bincount(flat, minlength=N * n).reshape(N, n)
+        return counts
+
+    def clustering_coefficients(self) -> np.ndarray:
+        """``(N, n)`` local clustering coefficients (0 for degree < 2)."""
+        degrees = self.degrees()
+        triangles = self.triangle_counts()
+        denom = degrees * (degrees - 1)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            coefficients = (2 * triangles) / denom
+        return np.where(denom > 0, coefficients, 0.0)

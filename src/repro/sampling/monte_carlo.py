@@ -15,6 +15,8 @@ returns the full ``(N, units)`` outcome matrix — the raw material for
 
 from __future__ import annotations
 
+import contextlib
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -25,8 +27,17 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.queries.base import Query
+from repro.sampling.batch import auto_batch_size
 from repro.sampling.worlds import WorldSampler
 from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+@contextlib.contextmanager
+def warnings_suppressed():
+    """Silence the all-nan RuntimeWarnings of the nan-aware reductions."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", category=RuntimeWarning)
+        yield
 
 
 @dataclass(frozen=True)
@@ -49,10 +60,7 @@ class EstimationResult:
 
     def unit_estimates(self) -> np.ndarray:
         """Per-unit nan-mean point estimates (nan for all-nan units)."""
-        import warnings
-
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", category=RuntimeWarning)
+        with warnings_suppressed():
             return np.nanmean(self.outcomes, axis=0)
 
     def scalar_estimate(self) -> float:
@@ -74,9 +82,8 @@ class EstimationResult:
         With ``unit=None`` the scalar-summary width is returned.
         """
         if unit is None:
-            per_sample = np.array([
-                float(np.nanmean(row)) for row in self.outcomes
-            ])
+            with warnings_suppressed():
+                per_sample = np.nanmean(self.outcomes, axis=1)
             sigma = float(np.nanstd(per_sample, ddof=1))
             return 3.92 * sigma / np.sqrt(self.n_samples)
         sigma = float(self.unit_standard_deviations()[unit])
@@ -89,12 +96,26 @@ class EstimationResult:
 class MonteCarloEstimator:
     """Evaluate a query on ``n_samples`` possible worlds of a graph.
 
+    By default the run is *batched*: worlds are sampled as ``(B, m)``
+    mask matrices and evaluated through the queries' ensemble kernels
+    (:func:`repro.queries.base.evaluate_query_batch`), chunked so one
+    chunk's working set stays memory-bounded.  The batched path consumes
+    the RNG stream exactly like the legacy per-world loop and the
+    kernels are bit-identical, so results do not depend on ``batched``
+    or ``batch_size``.
+
     Parameters
     ----------
     graph:
         The uncertain graph.
     n_samples:
         Number of worlds per run (the paper uses 500 for quality plots).
+    batch_size:
+        Worlds per chunk; ``None`` auto-sizes from ``N * m`` against a
+        fixed memory budget (:func:`repro.sampling.batch.auto_batch_size`).
+    batched:
+        ``False`` restores the legacy world-at-a-time loop (escape
+        hatch, e.g. for queries whose per-world path is under test).
 
     Examples
     --------
@@ -107,19 +128,50 @@ class MonteCarloEstimator:
     1.0
     """
 
-    def __init__(self, graph: UncertainGraph, n_samples: int = 500) -> None:
+    def __init__(
+        self,
+        graph: UncertainGraph,
+        n_samples: int = 500,
+        batch_size: int | None = None,
+        batched: bool = True,
+    ) -> None:
         if n_samples < 1:
             raise EstimationError(f"n_samples must be positive, got {n_samples}")
+        if batch_size is not None and batch_size < 1:
+            raise EstimationError(f"batch_size must be positive, got {batch_size}")
         self.graph = graph
         self.n_samples = n_samples
+        self.batch_size = batch_size
+        self.batched = batched
         self.sampler = WorldSampler(graph)
+
+    def _chunk_size(self) -> int:
+        if self.batch_size is not None:
+            return min(self.batch_size, self.n_samples)
+        return auto_batch_size(
+            self.n_samples, self.sampler.m, n_vertices=self.sampler.n
+        )
 
     def run(self, query: "Query", rng: "int | np.random.Generator | None" = None) -> EstimationResult:
         """One Monte-Carlo run: the ``(N, units)`` outcome matrix."""
         rng = ensure_rng(rng)
+        if not self.batched:
+            outcomes = np.empty(
+                (self.n_samples, query.unit_count()), dtype=np.float64
+            )
+            for i, world in enumerate(self.sampler.sample_many(self.n_samples, rng)):
+                outcomes[i] = query.evaluate(world)
+            return EstimationResult(outcomes=outcomes)
+        from repro.queries.base import evaluate_query_batch
+
         outcomes = np.empty((self.n_samples, query.unit_count()), dtype=np.float64)
-        for i, world in enumerate(self.sampler.sample_many(self.n_samples, rng)):
-            outcomes[i] = query.evaluate(world)
+        chunk = self._chunk_size()
+        start = 0
+        while start < self.n_samples:
+            count = min(chunk, self.n_samples - start)
+            batch = self.sampler.sample_batch(count, rng)
+            outcomes[start:start + count] = evaluate_query_batch(query, batch)
+            start += count
         return EstimationResult(outcomes=outcomes)
 
     def estimate(self, query: "Query", rng: "int | np.random.Generator | None" = None) -> np.ndarray:
@@ -133,6 +185,8 @@ def repeated_estimates(
     runs: int = 100,
     n_samples: int = 200,
     rng: "int | np.random.Generator | None" = None,
+    batch_size: int | None = None,
+    batched: bool = True,
 ) -> np.ndarray:
     """Variance protocol: ``runs`` independent scalar estimates Phi_i(G).
 
@@ -140,7 +194,9 @@ def repeated_estimates(
     unbiased variance of the results.
     """
     generators = spawn_rngs(rng, runs)
-    estimator = MonteCarloEstimator(graph, n_samples=n_samples)
+    estimator = MonteCarloEstimator(
+        graph, n_samples=n_samples, batch_size=batch_size, batched=batched
+    )
     return np.array([
         estimator.run(query, rng=g).scalar_estimate() for g in generators
     ])

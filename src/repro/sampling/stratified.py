@@ -67,8 +67,19 @@ class StratifiedEstimator:
             probability *= pe if keep else (1.0 - pe)
         return probability
 
-    def run(self, query: "Query", rng: "int | np.random.Generator | None" = None) -> float:
-        """Stratified scalar estimate of the query."""
+    def run(
+        self,
+        query: "Query",
+        rng: "int | np.random.Generator | None" = None,
+        batched: bool = True,
+    ) -> float:
+        """Stratified scalar estimate of the query.
+
+        With ``batched=True`` (default) each stratum's worlds are drawn
+        as one mask matrix — the conditioned columns overwritten in one
+        assignment — and evaluated through the ensemble kernels; the
+        per-world scalars are identical to the legacy loop.
+        """
         rng = ensure_rng(rng)
         total = 0.0
         assignments = list(itertools.product((False, True), repeat=self.r))
@@ -79,13 +90,35 @@ class StratifiedEstimator:
             if weight == 0.0:
                 continue
             stratum_values = np.empty(budget, dtype=np.float64)
-            for i in range(budget):
-                mask = self.sampler.sample_mask(rng)
-                mask[self.conditioned] = assignment
-                world = self.sampler.world_from_mask(mask)
-                outcome = query.evaluate(world)
-                defined = outcome[~np.isnan(outcome)]
-                stratum_values[i] = defined.mean() if len(defined) else np.nan
+            if batched:
+                from repro.queries.base import evaluate_query_batch
+                from repro.sampling.batch import auto_batch_size
+
+                chunk = auto_batch_size(
+                    budget, self.sampler.m, n_vertices=self.sampler.n
+                )
+                start = 0
+                while start < budget:
+                    count = min(chunk, budget - start)
+                    masks = self.sampler.sample_mask_matrix(count, rng)
+                    masks[:, self.conditioned] = assignment
+                    outcomes = evaluate_query_batch(
+                        query, self.sampler.batch_from_masks(masks)
+                    )
+                    for i, outcome in enumerate(outcomes):
+                        defined = outcome[~np.isnan(outcome)]
+                        stratum_values[start + i] = (
+                            defined.mean() if len(defined) else np.nan
+                        )
+                    start += count
+            else:
+                for i in range(budget):
+                    mask = self.sampler.sample_mask(rng)
+                    mask[self.conditioned] = assignment
+                    world = self.sampler.world_from_mask(mask)
+                    outcome = query.evaluate(world)
+                    defined = outcome[~np.isnan(outcome)]
+                    stratum_values[i] = defined.mean() if len(defined) else np.nan
             defined_values = stratum_values[~np.isnan(stratum_values)]
             if len(defined_values) == 0:
                 continue

@@ -162,6 +162,7 @@ class WorldSampler:
         self.edge_vertices = graph.edge_index_array()
         self.probabilities = np.array(graph.probability_array())
         self.m = len(self.probabilities)
+        self._topology = None  # shared BatchTopology, built on first batch
 
     def sample_mask(self, rng: "int | np.random.Generator | None" = None) -> np.ndarray:
         """One boolean edge-presence mask."""
@@ -179,6 +180,40 @@ class WorldSampler:
         rng = ensure_rng(rng)
         for _ in range(count):
             yield World(self.n, self.edge_vertices, self.sample_mask(rng))
+
+    def sample_mask_matrix(
+        self, count: int, rng: "int | np.random.Generator | None" = None
+    ) -> np.ndarray:
+        """``(count, m)`` Bernoulli mask matrix from one vectorised RNG call.
+
+        Row ``i`` consumes exactly the uniforms that the ``i``-th
+        sequential :meth:`sample_mask` call would — ``Generator.random``
+        fills row-major from the same stream — so batched and per-world
+        sampling are seeded-identical.
+        """
+        rng = ensure_rng(rng)
+        return rng.random((count, self.m)) < self.probabilities
+
+    def sample_batch(
+        self, count: int, rng: "int | np.random.Generator | None" = None
+    ) -> "WorldBatch":
+        """Sample ``count`` worlds as one :class:`~repro.sampling.batch.WorldBatch`."""
+        return self.batch_from_masks(self.sample_mask_matrix(count, rng))
+
+    def batch_from_masks(self, masks: np.ndarray) -> "WorldBatch":
+        """Wrap an explicit ``(N, m)`` mask matrix, sharing the parent CSR."""
+        from repro.sampling.batch import BatchTopology, WorldBatch
+
+        masks = np.asarray(masks, dtype=bool)
+        if masks.ndim != 2 or masks.shape[1] != self.m:
+            raise ValueError(
+                f"masks must have shape (N, {self.m}), got {masks.shape}"
+            )
+        if self._topology is None:
+            self._topology = BatchTopology(self.n, self.edge_vertices)
+        return WorldBatch(
+            self.n, self.edge_vertices, masks, topology=self._topology
+        )
 
     def world_from_mask(self, mask: np.ndarray) -> World:
         """Materialise a specific world (used by exact enumeration / strata)."""

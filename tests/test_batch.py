@@ -1,0 +1,234 @@
+"""Batched world-ensemble engine: seeded equivalence with the legacy path.
+
+The batch kernels promise *bit-identical* results to evaluating each
+world through the per-world protocol.  These tests hold every built-in
+query to that contract on random graphs, and check that the estimator
+layers (Monte-Carlo, adaptive, stratified) are invariant to batching
+and chunk size under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import UncertainGraph
+from repro.datasets import erdos_renyi_uncertain
+from repro.exceptions import EstimationError
+from repro.queries import (
+    ClusteringCoefficientQuery,
+    ComponentCountQuery,
+    ConnectivityQuery,
+    DegreeQuery,
+    PageRankQuery,
+    ReliabilityQuery,
+    ShortestPathQuery,
+    SourceDistanceQuery,
+    evaluate_query_batch,
+    sample_vertex_pairs,
+)
+from repro.sampling import (
+    MonteCarloEstimator,
+    StratifiedEstimator,
+    WorldBatch,
+    WorldSampler,
+    adaptive_estimate,
+    auto_batch_size,
+)
+
+
+def all_queries(graph: UncertainGraph, seed: int = 7) -> list:
+    """One instance of every built-in query class for ``graph``."""
+    n = graph.number_of_vertices()
+    queries = [
+        DegreeQuery(n),
+        ConnectivityQuery(),
+        ComponentCountQuery(),
+        ClusteringCoefficientQuery(n),
+        PageRankQuery(n),
+        SourceDistanceQuery(0, n),
+    ]
+    if n >= 2:
+        pairs = sample_vertex_pairs(graph, min(6, n * (n - 1) // 2), rng=seed)
+        queries.append(ReliabilityQuery(pairs))
+        queries.append(ShortestPathQuery(pairs))
+    return queries
+
+
+def assert_batch_matches_legacy(graph: UncertainGraph, masks: np.ndarray) -> None:
+    sampler = WorldSampler(graph)
+    batch = sampler.batch_from_masks(masks)
+    for query in all_queries(graph):
+        batched = evaluate_query_batch(query, batch)
+        legacy = np.stack([query.evaluate(w) for w in batch.iter_worlds()])
+        assert batched.shape == (batch.n_worlds, query.unit_count())
+        assert np.array_equal(batched, legacy, equal_nan=True), (
+            f"{type(query).__name__} batched != per-world"
+        )
+
+
+class TestKernelEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=18),
+        avg_degree=st.integers(min_value=1, max_value=6),
+        graph_seed=st.integers(min_value=0, max_value=10_000),
+        mask_seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_every_query_class_matches_per_world(
+        self, n, avg_degree, graph_seed, mask_seed
+    ):
+        graph = erdos_renyi_uncertain(
+            n, avg_degree=min(avg_degree, n - 1), rng=graph_seed
+        )
+        m = graph.number_of_edges()
+        rng = np.random.default_rng(mask_seed)
+        masks = rng.random((12, max(m, 0))) < rng.random(max(m, 0))
+        assert_batch_matches_legacy(graph, masks)
+
+    def test_extreme_masks_and_fragments(self):
+        graph = UncertainGraph(
+            [(0, 1, 0.5), (2, 3, 0.9), (4, 5, 0.3), (5, 6, 0.7), (4, 6, 0.6)],
+            vertices=[7, 8],
+        )
+        m = graph.number_of_edges()
+        rng = np.random.default_rng(0)
+        masks = rng.random((16, m)) < 0.5
+        masks[0] = False  # the empty world
+        masks[1] = True   # the full world
+        assert_batch_matches_legacy(graph, masks)
+
+    def test_dense_graph_with_triangles(self):
+        graph = erdos_renyi_uncertain(20, avg_degree=10, rng=1)
+        masks = np.random.default_rng(2).random(
+            (10, graph.number_of_edges())
+        ) < 0.6
+        assert_batch_matches_legacy(graph, masks)
+
+    def test_structural_kernels_match_world(self, small_power_law):
+        sampler = WorldSampler(small_power_law)
+        batch = sampler.sample_batch(8, rng=3)
+        worlds = list(batch.iter_worlds())
+        assert np.array_equal(
+            batch.degrees(), np.stack([w.degrees() for w in worlds])
+        )
+        assert np.array_equal(
+            batch.edge_counts(), [w.number_of_edges() for w in worlds]
+        )
+        assert np.array_equal(
+            batch.bfs_distances(0), np.stack([w.bfs_distances(0) for w in worlds])
+        )
+        assert np.array_equal(
+            batch.is_connected(), [w.is_connected() for w in worlds]
+        )
+        assert np.array_equal(
+            batch.connected_component_count(),
+            [w.connected_component_count() for w in worlds],
+        )
+        assert np.array_equal(
+            batch.clustering_coefficients(),
+            np.stack([w.clustering_coefficients() for w in worlds]),
+        )
+
+    def test_fallback_adapter_for_plain_queries(self, triangle):
+        class EdgeCountQuery:
+            name = "M"
+
+            def unit_count(self):
+                return 1
+
+            def evaluate(self, world):
+                return np.array([float(world.number_of_edges())])
+
+        sampler = WorldSampler(triangle)
+        batch = sampler.sample_batch(10, rng=5)
+        outcomes = evaluate_query_batch(EdgeCountQuery(), batch)
+        assert np.array_equal(outcomes[:, 0], batch.edge_counts())
+
+
+class TestSampling:
+    def test_mask_matrix_matches_sequential_stream(self, small_power_law):
+        sampler = WorldSampler(small_power_law)
+        matrix = sampler.sample_mask_matrix(9, rng=123)
+        sequential_rng = np.random.default_rng(123)
+        sequential = np.stack(
+            [sampler.sample_mask(sequential_rng) for _ in range(9)]
+        )
+        assert np.array_equal(matrix, sequential)
+
+    def test_batch_shares_topology_across_chunks(self, triangle):
+        sampler = WorldSampler(triangle)
+        a = sampler.sample_batch(3, rng=0)
+        b = sampler.sample_batch(3, rng=1)
+        assert a.topology is b.topology
+
+    def test_mask_shape_validated(self, triangle):
+        sampler = WorldSampler(triangle)
+        with pytest.raises(ValueError):
+            sampler.batch_from_masks(np.ones((4, 5), dtype=bool))
+        with pytest.raises(ValueError):
+            WorldBatch(3, sampler.edge_vertices, np.ones(3, dtype=bool))
+
+
+class TestEstimatorEquivalence:
+    def test_chunked_equals_single_batch_equals_legacy(self, small_power_law):
+        pairs = sample_vertex_pairs(small_power_law, 8, rng=5)
+        for query in (
+            ReliabilityQuery(pairs),
+            ShortestPathQuery(pairs),
+            PageRankQuery(small_power_law.number_of_vertices()),
+        ):
+            legacy = MonteCarloEstimator(
+                small_power_law, n_samples=30, batched=False
+            ).run(query, rng=9).outcomes
+            one_batch = MonteCarloEstimator(
+                small_power_law, n_samples=30, batch_size=30
+            ).run(query, rng=9).outcomes
+            chunked = MonteCarloEstimator(
+                small_power_law, n_samples=30, batch_size=7
+            ).run(query, rng=9).outcomes
+            assert np.array_equal(legacy, one_batch, equal_nan=True)
+            assert np.array_equal(legacy, chunked, equal_nan=True)
+
+    def test_invalid_batch_size(self, triangle):
+        with pytest.raises(EstimationError):
+            MonteCarloEstimator(triangle, n_samples=5, batch_size=0)
+
+    def test_auto_batch_size_bounds(self):
+        assert auto_batch_size(500, 2000) >= 1
+        assert auto_batch_size(10, 2000) <= 10
+        assert auto_batch_size(500, 0, n_vertices=0) <= 500
+        # A huge graph must still get a positive chunk.
+        assert auto_batch_size(500, 10**9) == 1
+
+    def test_adaptive_equivalence(self, small_power_law):
+        query = ReliabilityQuery(sample_vertex_pairs(small_power_law, 5, rng=2))
+        batched = adaptive_estimate(
+            small_power_law, query, target_width=0.1, rng=11
+        )
+        legacy = adaptive_estimate(
+            small_power_law, query, target_width=0.1, rng=11, batched=False
+        )
+        assert batched == legacy
+
+    def test_stratified_equivalence(self, small_power_law):
+        query = ReliabilityQuery(sample_vertex_pairs(small_power_law, 5, rng=2))
+        estimator = StratifiedEstimator(small_power_law, n_samples=48, r=3)
+        assert estimator.run(query, rng=13) == estimator.run(
+            query, rng=13, batched=False
+        )
+
+
+class TestConfidenceWidth:
+    def test_vectorized_width_matches_row_loop(self):
+        rng = np.random.default_rng(4)
+        outcomes = rng.random((40, 6))
+        outcomes[rng.random((40, 6)) < 0.2] = np.nan
+        from repro.sampling import EstimationResult
+
+        result = EstimationResult(outcomes=outcomes)
+        per_sample = np.array([float(np.nanmean(row)) for row in outcomes])
+        expected = 3.92 * float(np.nanstd(per_sample, ddof=1)) / np.sqrt(40)
+        assert result.confidence_width() == expected

@@ -242,3 +242,38 @@ def test_property_edge_count_consistent(edges):
     assert sum(g.expected_degrees().values()) == pytest.approx(
         2 * sum(expected.values())
     )
+
+
+class TestReadOnlyViews:
+    def test_neighbors_is_read_only(self, triangle):
+        nbrs = triangle.neighbors("a")
+        with pytest.raises(TypeError):
+            nbrs["b"] = 0.1
+        with pytest.raises(TypeError):
+            del nbrs["b"]
+        # The view is live: graph mutations show through it.
+        triangle.set_probability("a", "b", 0.75)
+        assert nbrs["b"] == 0.75
+
+    def test_neighbors_missing_vertex(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.neighbors("zzz")
+
+    def test_vertex_indexer_cached_until_mutation(self, triangle):
+        first = triangle.vertex_indexer()
+        assert triangle.vertex_indexer() is first
+        triangle.add_vertex("d")
+        second = triangle.vertex_indexer()
+        assert second is not first
+        assert second["d"] == 3
+
+    def test_edge_index_array_cached_and_read_only(self, triangle):
+        first = triangle.edge_index_array()
+        assert triangle.edge_index_array() is first
+        assert not first.flags.writeable
+        with pytest.raises(ValueError):
+            first[0, 0] = 99
+        triangle.add_edge("a", "d", 0.5)
+        second = triangle.edge_index_array()
+        assert second is not first
+        assert len(second) == 4
