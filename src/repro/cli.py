@@ -116,6 +116,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-batch", action="store_true",
         help="evaluate worlds one at a time (legacy path)",
     )
+    estimate_cmd.add_argument(
+        "--workers", type=int, default=1,
+        help="processes for batch-chunk evaluation (default 1 = in-process; "
+        "0 means one per CPU; results are identical for any value)",
+    )
 
     diagnose_cmd = sub.add_parser(
         "diagnose", help="sparsification diagnostics for a (G, G') pair"
@@ -218,17 +223,29 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         query = ClusteringCoefficientQuery(n)
     else:
         query = ConnectivityQuery()
+    from repro.sampling.parallel import resolve_workers
+
+    workers = resolve_workers(args.workers if args.workers != 0 else None)
     estimator = MonteCarloEstimator(
         graph,
         n_samples=args.samples,
         batch_size=args.batch_size,
         batched=not args.no_batch,
+        workers=workers,
     )
-    result = estimator.run(query, rng=args.seed)
+    try:
+        result = estimator.run(query, rng=args.seed)
+    finally:
+        estimator.close()
+    if args.no_batch:
+        evaluation = "per-world (legacy)"
+    elif workers > 1:
+        evaluation = f"batched ({workers} workers)"
+    else:
+        evaluation = "batched"
     print(f"query:            {args.query}")
     print(f"worlds sampled:   {args.samples}")
-    print(f"evaluation:       "
-          f"{'per-world (legacy)' if args.no_batch else 'batched'}")
+    print(f"evaluation:       {evaluation}")
     print(f"scalar estimate:  {result.scalar_estimate():.6f}")
     print(f"95% CI width:     {result.confidence_width():.6f}")
     return 0

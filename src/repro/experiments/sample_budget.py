@@ -44,7 +44,8 @@ def run_sample_budget(
         notes="paper 6.3: N'/N = (sigma'/sigma)^2 — sparsified needs fewer",
     )
     base = adaptive_estimate(
-        graph, query, target_width, rng=seed, max_samples=max_samples
+        graph, query, target_width, rng=seed, max_samples=max_samples,
+        workers=scale.mc_workers,
     )
     table.add_row(
         "original", base.samples_used, base.estimate, base.confidence_width, 1.0
@@ -52,7 +53,8 @@ def run_sample_budget(
     for method in COMPARISON_METHODS:
         sparsified = sparsify(graph, alpha, variant=method, rng=seed)
         result = adaptive_estimate(
-            sparsified, query, target_width, rng=seed, max_samples=max_samples
+            sparsified, query, target_width, rng=seed, max_samples=max_samples,
+            workers=scale.mc_workers,
         )
         table.add_row(
             method,

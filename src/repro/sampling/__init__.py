@@ -7,12 +7,16 @@
 - :mod:`~repro.sampling.exact` — exhaustive enumeration (Eq. 1),
 - :class:`~repro.sampling.monte_carlo.MonteCarloEstimator` — the MC
   query engine + variance protocol (batched by default),
+- :class:`~repro.sampling.parallel.ParallelBatchExecutor` — batch
+  chunks fanned over a process pool, deterministic for any worker
+  count (``workers=`` on every estimator),
 - :class:`~repro.sampling.stratified.StratifiedEstimator` — stratified
   variant after [23].
 """
 
 from repro.sampling.adaptive import AdaptiveResult, adaptive_estimate, samples_to_width
 from repro.sampling.batch import BatchTopology, WorldBatch, auto_batch_size
+from repro.sampling.parallel import ParallelBatchExecutor, chunk_counts, resolve_workers
 from repro.sampling.exact import (
     exact_connectivity_probability,
     exact_expectation,
@@ -38,10 +42,13 @@ __all__ = [
     "auto_batch_size",
     "samples_to_width",
     "MonteCarloEstimator",
+    "ParallelBatchExecutor",
     "StratifiedEstimator",
     "World",
     "WorldBatch",
     "WorldSampler",
+    "chunk_counts",
+    "resolve_workers",
     "exact_connectivity_probability",
     "exact_expectation",
     "exact_query_probability",

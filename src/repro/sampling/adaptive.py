@@ -60,6 +60,7 @@ def adaptive_estimate(
     max_samples: int = 20_000,
     batch: int = 10,
     batched: bool = True,
+    workers: int | None = 1,
 ) -> AdaptiveResult:
     """Sample worlds until the 95% CI width falls below ``target_width``.
 
@@ -86,6 +87,11 @@ def adaptive_estimate(
         Evaluate each draw through the ensemble kernels (default); the
         sequential stopping rule sees the exact same per-world scalars
         either way, so this only changes speed.
+    workers:
+        Process count for batched draws
+        (:class:`~repro.sampling.parallel.ParallelBatchExecutor` in
+        sequential-compatibility mode — the stopping rule sees the same
+        scalars for any worker count).  ``<= 1`` stays in-process.
 
     Raises
     ------
@@ -99,14 +105,25 @@ def adaptive_estimate(
     rng = ensure_rng(rng)
     sampler = WorldSampler(graph)
 
+    executor = None
+    if batched:
+        from repro.sampling.parallel import ParallelBatchExecutor
+
+        # One executor (and process pool, when workers > 1) serves every
+        # draw of the stopping loop; sequential mode consumes the RNG
+        # stream exactly like sample_batch would, so the per-world
+        # scalars — and hence the stopping point — are unchanged.
+        executor = ParallelBatchExecutor(
+            sampler, query, workers=workers, rng_mode="sequential"
+        )
+
     values: list[float] = []
 
     def draw(count: int) -> None:
-        from repro.queries.base import evaluate_query_batch
         from repro.sampling.monte_carlo import warnings_suppressed
 
-        if batched:
-            outcomes = evaluate_query_batch(query, sampler.sample_batch(count, rng))
+        if executor is not None:
+            outcomes = executor.run(count, rng)
             with warnings_suppressed():
                 values.extend(float(v) for v in np.nanmean(outcomes, axis=1))
             return
@@ -115,33 +132,37 @@ def adaptive_estimate(
             with warnings_suppressed():
                 values.append(float(np.nanmean(outcome)))
 
-    draw(min_samples)
-    while True:
-        arr = np.asarray(values, dtype=np.float64)
-        defined = arr[~np.isnan(arr)]
-        if len(defined) >= 2:
-            sigma = float(np.std(defined, ddof=1))
-            width = 3.92 * sigma / np.sqrt(len(defined))
-            if width <= target_width:
-                return AdaptiveResult(
-                    estimate=float(defined.mean()),
-                    samples_used=len(values),
-                    confidence_width=width,
-                    converged=True,
-                )
-        if len(values) >= max_samples:
+    try:
+        draw(min_samples)
+        while True:
+            arr = np.asarray(values, dtype=np.float64)
             defined = arr[~np.isnan(arr)]
-            sigma = float(np.std(defined, ddof=1)) if len(defined) >= 2 else float("nan")
-            return AdaptiveResult(
-                estimate=float(defined.mean()) if len(defined) else float("nan"),
-                samples_used=len(values),
-                confidence_width=(
-                    3.92 * sigma / np.sqrt(len(defined)) if len(defined) >= 2
-                    else float("nan")
-                ),
-                converged=False,
-            )
-        draw(min(batch, max_samples - len(values)))
+            if len(defined) >= 2:
+                sigma = float(np.std(defined, ddof=1))
+                width = 3.92 * sigma / np.sqrt(len(defined))
+                if width <= target_width:
+                    return AdaptiveResult(
+                        estimate=float(defined.mean()),
+                        samples_used=len(values),
+                        confidence_width=width,
+                        converged=True,
+                    )
+            if len(values) >= max_samples:
+                defined = arr[~np.isnan(arr)]
+                sigma = float(np.std(defined, ddof=1)) if len(defined) >= 2 else float("nan")
+                return AdaptiveResult(
+                    estimate=float(defined.mean()) if len(defined) else float("nan"),
+                    samples_used=len(values),
+                    confidence_width=(
+                        3.92 * sigma / np.sqrt(len(defined)) if len(defined) >= 2
+                        else float("nan")
+                    ),
+                    converged=False,
+                )
+            draw(min(batch, max_samples - len(values)))
+    finally:
+        if executor is not None:
+            executor.close()
 
 
 def samples_to_width(

@@ -27,7 +27,6 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.queries.base import Query
-from repro.sampling.batch import auto_batch_size
 from repro.sampling.worlds import WorldSampler
 from repro.utils.rng import ensure_rng, spawn_rngs
 
@@ -104,6 +103,15 @@ class MonteCarloEstimator:
     kernels are bit-identical, so results do not depend on ``batched``
     or ``batch_size``.
 
+    With ``workers > 1`` the chunks are evaluated concurrently on a
+    process pool (:class:`repro.sampling.parallel.ParallelBatchExecutor`
+    in sequential-compatibility mode): the parent draws every chunk's
+    masks from the single RNG stream in chunk order and workers only
+    evaluate, so results are *also* independent of ``workers`` — the
+    outcome matrix is bit-identical for any worker count under a fixed
+    seed.  If the pool cannot start, evaluation falls back in-process
+    with a warning but the same answer.
+
     Parameters
     ----------
     graph:
@@ -116,6 +124,10 @@ class MonteCarloEstimator:
     batched:
         ``False`` restores the legacy world-at-a-time loop (escape
         hatch, e.g. for queries whose per-world path is under test).
+    workers:
+        Process count for chunk evaluation; ``<= 1`` stays in-process,
+        ``None`` uses one worker per CPU.  Ignored when ``batched`` is
+        ``False``.
 
     Examples
     --------
@@ -134,23 +146,51 @@ class MonteCarloEstimator:
         n_samples: int = 500,
         batch_size: int | None = None,
         batched: bool = True,
+        workers: int | None = 1,
     ) -> None:
         if n_samples < 1:
             raise EstimationError(f"n_samples must be positive, got {n_samples}")
         if batch_size is not None and batch_size < 1:
             raise EstimationError(f"batch_size must be positive, got {batch_size}")
+        if workers is not None and workers < 0:
+            raise EstimationError(f"workers must be non-negative, got {workers}")
         self.graph = graph
         self.n_samples = n_samples
         self.batch_size = batch_size
         self.batched = batched
+        self.workers = workers
         self.sampler = WorldSampler(graph)
+        self._executor = None
+        self._executor_query = None
 
-    def _chunk_size(self) -> int:
-        if self.batch_size is not None:
-            return min(self.batch_size, self.n_samples)
-        return auto_batch_size(
-            self.n_samples, self.sampler.m, n_vertices=self.sampler.n
+    def _executor_for(self, query: "Query"):
+        """The (cached) batch executor for ``query``.
+
+        One executor — and hence one process pool — is reused across
+        runs of the same query object, which is what the variance
+        protocol and the adaptive stopping rule do in a loop.
+        """
+        from repro.sampling.parallel import ParallelBatchExecutor
+
+        if self._executor is not None and self._executor_query is query:
+            return self._executor
+        self.close()
+        self._executor = ParallelBatchExecutor(
+            self.sampler,
+            query,
+            workers=self.workers,
+            chunk_size=self.batch_size,
+            rng_mode="sequential",
         )
+        self._executor_query = query
+        return self._executor
+
+    def close(self) -> None:
+        """Release the cached process pool (no-op for serial estimators)."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+            self._executor_query = None
 
     def run(self, query: "Query", rng: "int | np.random.Generator | None" = None) -> EstimationResult:
         """One Monte-Carlo run: the ``(N, units)`` outcome matrix."""
@@ -162,17 +202,9 @@ class MonteCarloEstimator:
             for i, world in enumerate(self.sampler.sample_many(self.n_samples, rng)):
                 outcomes[i] = query.evaluate(world)
             return EstimationResult(outcomes=outcomes)
-        from repro.queries.base import evaluate_query_batch
-
-        outcomes = np.empty((self.n_samples, query.unit_count()), dtype=np.float64)
-        chunk = self._chunk_size()
-        start = 0
-        while start < self.n_samples:
-            count = min(chunk, self.n_samples - start)
-            batch = self.sampler.sample_batch(count, rng)
-            outcomes[start:start + count] = evaluate_query_batch(query, batch)
-            start += count
-        return EstimationResult(outcomes=outcomes)
+        return EstimationResult(
+            outcomes=self._executor_for(query).run(self.n_samples, rng)
+        )
 
     def estimate(self, query: "Query", rng: "int | np.random.Generator | None" = None) -> np.ndarray:
         """Convenience: per-unit point estimates of one run."""
@@ -187,19 +219,26 @@ def repeated_estimates(
     rng: "int | np.random.Generator | None" = None,
     batch_size: int | None = None,
     batched: bool = True,
+    workers: int | None = 1,
 ) -> np.ndarray:
     """Variance protocol: ``runs`` independent scalar estimates Phi_i(G).
 
     Paper section 6.3 re-runs each estimator 100 times and reports the
-    unbiased variance of the results.
+    unbiased variance of the results.  With ``workers > 1`` every run's
+    chunks fan out over one shared process pool; per-run RNG streams are
+    unchanged, so the estimates match the serial protocol bit for bit.
     """
     generators = spawn_rngs(rng, runs)
     estimator = MonteCarloEstimator(
-        graph, n_samples=n_samples, batch_size=batch_size, batched=batched
+        graph, n_samples=n_samples, batch_size=batch_size, batched=batched,
+        workers=workers,
     )
-    return np.array([
-        estimator.run(query, rng=g).scalar_estimate() for g in generators
-    ])
+    try:
+        return np.array([
+            estimator.run(query, rng=g).scalar_estimate() for g in generators
+        ])
+    finally:
+        estimator.close()
 
 
 def unbiased_variance(estimates: np.ndarray) -> float:

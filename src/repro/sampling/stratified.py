@@ -59,59 +59,71 @@ class StratifiedEstimator:
         self.sampler = WorldSampler(graph)
         entropies = entropy_array(self.sampler.probabilities)
         self.conditioned = np.argsort(-entropies)[:r]
+        self._weights: "dict[tuple[bool, ...], float]" = {}
+        self._executor = None
+        self._executor_key = None
 
     def _stratum_probability(self, assignment: tuple[bool, ...]) -> float:
-        p = self.sampler.probabilities[self.conditioned]
-        probability = 1.0
-        for keep, pe in zip(assignment, p):
-            probability *= pe if keep else (1.0 - pe)
-        return probability
+        """Probability mass of one stratum (cached per assignment).
+
+        The conditioned edges are fixed at construction, so each
+        assignment's weight is computed once and memoised — ``run`` used
+        to recompute all ``2^r`` products on every call.
+        """
+        assignment = tuple(bool(keep) for keep in assignment)
+        cached = self._weights.get(assignment)
+        if cached is None:
+            p = self.sampler.probabilities[self.conditioned]
+            probability = 1.0
+            for keep, pe in zip(assignment, p):
+                probability *= pe if keep else (1.0 - pe)
+            cached = self._weights[assignment] = float(probability)
+        return cached
+
+    def stratum_assignments(self) -> list[tuple[bool, ...]]:
+        """The ``2^r`` conditioned-edge assignments in canonical order."""
+        return list(itertools.product((False, True), repeat=self.r))
+
+    def stratum_weights(self) -> np.ndarray:
+        """Stratum probabilities aligned with :meth:`stratum_assignments`."""
+        return np.array(
+            [self._stratum_probability(a) for a in self.stratum_assignments()]
+        )
 
     def run(
         self,
         query: "Query",
         rng: "int | np.random.Generator | None" = None,
         batched: bool = True,
+        workers: "int | None" = 1,
     ) -> float:
         """Stratified scalar estimate of the query.
 
         With ``batched=True`` (default) each stratum's worlds are drawn
         as one mask matrix — the conditioned columns overwritten in one
         assignment — and evaluated through the ensemble kernels; the
-        per-world scalars are identical to the legacy loop.
+        per-world scalars are identical to the legacy loop.  With
+        ``workers > 1`` the chunks of every stratum fan out over one
+        shared process pool; masks are still drawn by the parent from
+        the single stream, so the estimate does not depend on the worker
+        count.
         """
         rng = ensure_rng(rng)
         total = 0.0
-        assignments = list(itertools.product((False, True), repeat=self.r))
-        weights = np.array([self._stratum_probability(a) for a in assignments])
+        assignments = self.stratum_assignments()
+        weights = self.stratum_weights()
         # Proportional allocation with at least 1 sample per non-null stratum.
         allocation = np.maximum(1, np.rint(weights * self.n_samples).astype(int))
+        executor = self._executor_for(query, workers) if batched else None
         for assignment, weight, budget in zip(assignments, weights, allocation):
             if weight == 0.0:
                 continue
-            stratum_values = np.empty(budget, dtype=np.float64)
-            if batched:
-                from repro.queries.base import evaluate_query_batch
-                from repro.sampling.batch import auto_batch_size
-
-                chunk = auto_batch_size(
-                    budget, self.sampler.m, n_vertices=self.sampler.n
+            if executor is not None:
+                stratum_values = self._batched_stratum_values(
+                    executor, assignment, budget, rng
                 )
-                start = 0
-                while start < budget:
-                    count = min(chunk, budget - start)
-                    masks = self.sampler.sample_mask_matrix(count, rng)
-                    masks[:, self.conditioned] = assignment
-                    outcomes = evaluate_query_batch(
-                        query, self.sampler.batch_from_masks(masks)
-                    )
-                    for i, outcome in enumerate(outcomes):
-                        defined = outcome[~np.isnan(outcome)]
-                        stratum_values[start + i] = (
-                            defined.mean() if len(defined) else np.nan
-                        )
-                    start += count
             else:
+                stratum_values = np.empty(budget, dtype=np.float64)
                 for i in range(budget):
                     mask = self.sampler.sample_mask(rng)
                     mask[self.conditioned] = assignment
@@ -124,3 +136,62 @@ class StratifiedEstimator:
                 continue
             total += weight * float(defined_values.mean())
         return total
+
+    def _executor_for(self, query: "Query", workers: "int | None"):
+        """The (cached) batch executor, one pool across repeated runs.
+
+        Mirrors :meth:`MonteCarloEstimator._executor_for`: variance
+        protocols call ``run`` in a loop, so the pool must survive
+        between calls; :meth:`close` releases it.
+        """
+        from repro.sampling.parallel import ParallelBatchExecutor, resolve_workers
+
+        key = (query, resolve_workers(workers))
+        if self._executor is not None and self._executor_key == key:
+            return self._executor
+        self.close()
+        self._executor = ParallelBatchExecutor(
+            self.sampler, query, workers=workers, rng_mode="sequential"
+        )
+        self._executor_key = key
+        return self._executor
+
+    def close(self) -> None:
+        """Release the cached process pool (no-op for serial runs)."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+            self._executor_key = None
+
+    def _batched_stratum_values(
+        self,
+        executor,
+        assignment: tuple[bool, ...],
+        budget: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Per-world scalars of one stratum via the batch executor."""
+        from repro.sampling.batch import auto_batch_size
+
+        chunk = auto_batch_size(
+            budget, self.sampler.m, n_vertices=self.sampler.n
+        )
+
+        def stratum_chunks():
+            start = 0
+            while start < budget:
+                count = min(chunk, budget - start)
+                masks = self.sampler.sample_mask_matrix(count, rng)
+                masks[:, self.conditioned] = assignment
+                yield masks
+                start += count
+
+        outcomes = executor.map_masks(stratum_chunks())
+        # Reduce each row exactly like the legacy per-world loop (mean of
+        # the compacted defined entries — not nanmean over the full row,
+        # whose different summation partition can differ in the last ulp).
+        stratum_values = np.empty(budget, dtype=np.float64)
+        for i, outcome in enumerate(outcomes):
+            defined = outcome[~np.isnan(outcome)]
+            stratum_values[i] = defined.mean() if len(defined) else np.nan
+        return stratum_values
