@@ -1,0 +1,152 @@
+"""Smoke benchmark: the ensemble traversal kernels.
+
+Two workloads on a ~5k-edge Flickr-style topology:
+
+- **weighted**: batched delta-stepping (``-log p`` most-probable-path
+  distances, all worlds at once) against the per-world binary-heap
+  Dijkstra loop, on a *dense-probability* ensemble (p in [0.4, 0.95] —
+  the regime the paper's sparsifiers produce by pushing probabilities
+  towards 1, and where whole-graph traversals dominate per-world cost).
+  The distance matrices must agree within float tolerance (always
+  gated) and the batched kernel must win by ``MIN_SPEEDUP`` — the
+  timing gate is skipped on single-core machines where clocks are too
+  noisy.  On very sparse ensembles (mean p well under 0.1) each
+  world's reachable component is tiny and the per-world Dijkstra is
+  competitive; the equality gate still runs there via the unit tests.
+- **packed BFS**: bit-packed uint64 frontiers against the boolean
+  kernel.  Distances must be *bit-identical* (always gated) and the
+  packed frontier working set must be ~8x smaller — a deterministic
+  arithmetic gate, not a timing; wall-clocks of both kernels are
+  reported for the archive.
+
+Results land under ``benchmarks/results/`` like the other benches.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import UncertainGraph
+from repro.datasets import flickr_like
+from repro.experiments.common import ResultTable
+from repro.sampling import WorldSampler
+
+#: Acceptance floor for batched delta-stepping vs the Dijkstra loop on
+#: the dense-probability ensemble (measured ~3x single-core; CI noise
+#: overrides via REPRO_BENCH_WEIGHTED_MIN_SPEEDUP — tolerance-equality
+#: always gates).
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_WEIGHTED_MIN_SPEEDUP", "1.5"))
+
+#: Worlds per ensemble: a multiple of 64 so the packed-frontier memory
+#: ratio is exactly 8 bool bytes per uint64 word.
+N_WORLDS = int(os.environ.get("REPRO_BENCH_WEIGHTED_WORLDS", "256"))
+
+N_SOURCES = 4
+
+
+@pytest.fixture(scope="module")
+def dense_sampler():
+    """The bench topology with sparsified-regime probabilities."""
+    base = flickr_like(n=500, avg_degree=20, seed=17)
+    assert 4500 <= base.number_of_edges() <= 5500
+    rng = np.random.default_rng(0)
+    probabilities = rng.uniform(0.4, 0.95, base.number_of_edges())
+    edges = [
+        (u, v, float(p))
+        for (u, v), p in zip(base.edge_list(), probabilities)
+    ]
+    return WorldSampler(UncertainGraph(edges, name="flickr-dense-p"))
+
+
+@pytest.fixture(scope="module")
+def sparse_sampler():
+    """The bench topology with its native (low) probabilities."""
+    return WorldSampler(flickr_like(n=500, avg_degree=20, seed=17))
+
+
+def test_bench_weighted_delta_stepping(dense_sampler, emit):
+    batch = dense_sampler.sample_batch(N_WORLDS, rng=3)
+    sources = list(range(N_SOURCES))
+
+    start = time.perf_counter()
+    batched = [batch.weighted_distances(s) for s in sources]
+    batched_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    worlds = list(batch.iter_worlds())
+    reference = [
+        np.stack([world.weighted_distances(s) for world in worlds])
+        for s in sources
+    ]
+    loop_s = time.perf_counter() - start
+
+    # Correctness always gates: same distances (inf pattern included)
+    # up to float addition reordering.
+    for got, want in zip(batched, reference):
+        assert np.allclose(got, want, rtol=1e-9, atol=1e-12)
+        assert np.array_equal(np.isinf(got), np.isinf(want))
+
+    speedup = loop_s / batched_s
+    table = ResultTable(
+        title=(
+            f"Batched delta-stepping vs per-world Dijkstra — {N_WORLDS} "
+            f"worlds, {dense_sampler.m} edges, {N_SOURCES} sources, "
+            f"p in [0.4, 0.95]"
+        ),
+        headers=["kernel", "seconds", "speedup"],
+    )
+    table.add_row("dijkstra-loop", loop_s, 1.0)
+    table.add_row("delta-stepping", batched_s, speedup)
+    emit("bench_weighted_delta_stepping", table)
+
+    if (os.cpu_count() or 1) < 2:
+        pytest.skip(
+            f"single-core machine — equality checked, speedup gate skipped "
+            f"(measured {speedup:.2f}x)"
+        )
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched weighted kernel only {speedup:.2f}x faster "
+        f"(need >= {MIN_SPEEDUP}x)"
+    )
+
+
+def test_bench_packed_bfs(sparse_sampler, emit):
+    batch = sparse_sampler.sample_batch(N_WORLDS, rng=3)
+    sources = list(range(N_SOURCES))
+
+    start = time.perf_counter()
+    boolean = [batch.bfs_distances(s, kernel="boolean") for s in sources]
+    boolean_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    packed = [batch.bfs_distances(s, kernel="packed") for s in sources]
+    packed_s = time.perf_counter() - start
+
+    # Bit-identity always gates.
+    for got, want in zip(packed, boolean):
+        assert np.array_equal(got, want)
+
+    # The memory gate is arithmetic, not a timing: per (vertices x
+    # worlds) state matrix, the packed layout spends 8 bytes per 64
+    # worlds against 1 byte per world.
+    n = sparse_sampler.n
+    boolean_frontier_bytes = N_WORLDS * n  # bool
+    packed_frontier_bytes = ((N_WORLDS + 63) // 64) * 8 * n  # uint64 words
+    ratio = boolean_frontier_bytes / packed_frontier_bytes
+    assert ratio >= 7.5, f"packed frontier only {ratio:.1f}x smaller"
+
+    table = ResultTable(
+        title=(
+            f"Packed vs boolean BFS frontiers — {N_WORLDS} worlds, "
+            f"{sparse_sampler.m} edges, {N_SOURCES} sources"
+        ),
+        headers=["kernel", "seconds", "frontier_bytes"],
+        notes=f"frontier memory ratio {ratio:.1f}x (gated >= 7.5x)",
+    )
+    table.add_row("boolean", boolean_s, boolean_frontier_bytes)
+    table.add_row("packed", packed_s, packed_frontier_bytes)
+    emit("bench_packed_bfs", table)

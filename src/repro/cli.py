@@ -27,7 +27,7 @@ import sys
 
 from repro.core import available_variants, graph_entropy, sparsify
 from repro.datasets import read_edge_list, write_edge_list
-from repro.exceptions import ReproError
+from repro.exceptions import EstimationError, ReproError
 from repro.metrics import (
     degree_discrepancy_mae,
     relative_entropy,
@@ -106,6 +106,12 @@ def _build_parser() -> argparse.ArgumentParser:
     estimate_cmd.add_argument(
         "--pairs", type=int, default=50,
         help="random vertex pairs for reliability/distance",
+    )
+    estimate_cmd.add_argument(
+        "--weighted", action="store_true",
+        help="with --query distance: most-probable-path distances on the "
+        "-log p weight transform (batched delta-stepping kernel) instead "
+        "of hop counts",
     )
     estimate_cmd.add_argument("--seed", type=int, default=0, help="RNG seed")
     estimate_cmd.add_argument(
@@ -211,11 +217,15 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
 
     graph = read_edge_list(args.input)
     n = graph.number_of_vertices()
+    if args.weighted and args.query != "distance":
+        raise EstimationError(
+            "--weighted only applies to --query distance"
+        )
     if args.query in ("reliability", "distance"):
         pairs = sample_vertex_pairs(graph, args.pairs, rng=args.seed)
         query = (
             ReliabilityQuery(pairs) if args.query == "reliability"
-            else ShortestPathQuery(pairs)
+            else ShortestPathQuery(pairs, weighted=args.weighted)
         )
     elif args.query == "pagerank":
         query = PageRankQuery(n)
@@ -243,7 +253,8 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         evaluation = f"batched ({workers} workers)"
     else:
         evaluation = "batched"
-    print(f"query:            {args.query}")
+    label = f"{args.query} (weighted -log p)" if args.weighted else args.query
+    print(f"query:            {label}")
     print(f"worlds sampled:   {args.samples}")
     print(f"evaluation:       {evaluation}")
     print(f"scalar estimate:  {result.scalar_estimate():.6f}")

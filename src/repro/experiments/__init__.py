@@ -25,7 +25,7 @@ from repro.experiments.fig05 import run_fig05
 from repro.experiments.fig06 import run_fig06
 from repro.experiments.fig07 import run_fig07
 from repro.experiments.fig08 import run_fig08
-from repro.experiments.fig09 import run_fig09
+from repro.experiments.fig09 import run_fig09, run_fig09_estimation
 from repro.experiments.fig10 import run_fig10
 from repro.experiments.fig11 import run_fig11
 from repro.experiments.fig12 import run_fig12
@@ -52,6 +52,7 @@ __all__ = [
     "run_fig07",
     "run_fig08",
     "run_fig09",
+    "run_fig09_estimation",
     "run_fig10",
     "run_fig11",
     "run_fig12",

@@ -5,6 +5,11 @@ original graph and on every method's sparsified graph, and report the
 mean per-unit earth mover's distance between the outcome distributions
 (Eq. 17).  Expected shape: GDB/EMD below NI/SP almost everywhere; SP
 (the spanner) poor even on the SP query; errors shrink as alpha grows.
+
+The query registry also accepts ``"WSP"`` — the weighted
+most-probable-path distance on the ``-log p`` transform — e.g.
+``run_fig10(query_names=("SP", "WSP"))`` compares hop and weighted
+error side by side on the same pair sample.
 """
 
 from __future__ import annotations

@@ -4,7 +4,9 @@
 paper's shape: PR error grows with density (node-centric, degree-
 correlated — mirrors Fig. 7a), SP error *shrinks* with density
 (abundant alternative short paths), and RL is ~0 for every method on
-dense graphs (hence omitted, as in the paper).
+dense graphs (hence omitted, as in the paper).  Pass
+``query_names=("SP", "WSP")`` to sweep the weighted most-probable-path
+distance alongside the hop distance.
 """
 
 from __future__ import annotations

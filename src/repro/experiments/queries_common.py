@@ -15,6 +15,12 @@ from repro.sampling import MonteCarloEstimator
 
 QUERY_NAMES = ("PR", "SP", "RL", "CC")
 
+#: Full registry, including the weighted most-probable-path distance
+#: (paper's ``-log p`` spanner transform, query WSP) — pass a subset of
+#: these to any query-quality driver (fig10/fig11/fig12) as
+#: ``query_names``.
+ALL_QUERY_NAMES = QUERY_NAMES + ("WSP",)
+
 
 def make_estimator(
     graph: UncertainGraph,
@@ -42,20 +48,24 @@ def build_queries(
     seed: int = 41,
     names: tuple[str, ...] = QUERY_NAMES,
 ) -> dict[str, object]:
-    """The paper's four queries for one dataset.
+    """The paper's four queries (plus weighted SP) for one dataset.
 
-    PR and CC are evaluated on all vertices; SP and RL on
+    PR and CC are evaluated on all vertices; SP, WSP and RL on
     ``scale.query_pairs`` random vertex pairs — the paper's protocol
-    (section 6.3) at configurable scale.
+    (section 6.3) at configurable scale.  WSP is the weighted
+    most-probable-path variant of SP (``-log p`` transform) and shares
+    SP's pair sample so the two are directly comparable.
     """
     n = graph.number_of_vertices()
     queries: dict[str, object] = {}
-    if "SP" in names or "RL" in names:
+    if {"SP", "RL", "WSP"} & set(names):
         pairs = sample_vertex_pairs(graph, scale.query_pairs, rng=seed)
     if "PR" in names:
         queries["PR"] = PageRankQuery(n)
     if "SP" in names:
         queries["SP"] = ShortestPathQuery(pairs)
+    if "WSP" in names:
+        queries["WSP"] = ShortestPathQuery(pairs, weighted=True)
     if "RL" in names:
         queries["RL"] = ReliabilityQuery(pairs)
     if "CC" in names:

@@ -54,6 +54,8 @@ def relative_variance(
     n_samples: int = 100,
     rng: "int | np.random.Generator | None" = None,
     workers: "int | None" = 1,
+    batch_size: "int | None" = None,
+    batched: bool = True,
 ) -> VarianceComparison:
     """Run the paper's variance protocol on both graphs.
 
@@ -61,14 +63,18 @@ def relative_variance(
     executed per graph (the paper uses 100 runs; benchmarks scale this
     down), and the unbiased variances of the scalar estimates compared.
     ``workers > 1`` fans the Monte-Carlo chunks of every run over a
-    process pool without changing any estimate.
+    process pool, ``batch_size`` bounds a chunk's working set, and
+    ``batched=False`` restores the legacy per-world loop — none of
+    which can change any estimate (the determinism contract).
     """
     rng = ensure_rng(rng)
     estimates_original = repeated_estimates(
-        original, query, runs=runs, n_samples=n_samples, rng=rng, workers=workers
+        original, query, runs=runs, n_samples=n_samples, rng=rng,
+        workers=workers, batch_size=batch_size, batched=batched,
     )
     estimates_sparsified = repeated_estimates(
-        sparsified, query, runs=runs, n_samples=n_samples, rng=rng, workers=workers
+        sparsified, query, runs=runs, n_samples=n_samples, rng=rng,
+        workers=workers, batch_size=batch_size, batched=batched,
     )
     return VarianceComparison(
         variance_original=unbiased_variance(estimates_original),

@@ -34,41 +34,71 @@ UNREACHABLE = np.inf
 
 
 class SourceDistanceQuery:
-    """Per-world BFS distances from a fixed source to every vertex.
+    """Per-world distances from a fixed source to every vertex.
 
     Disconnected vertices score ``inf`` (a real outcome value for the
     majority/median aggregations, unlike SP's nan-exclusion protocol).
+    ``weighted=True`` reports most-probable-path distances on the
+    ``-log p`` transform — the k-NN semantics of [32] — instead of hop
+    counts.
     """
 
-    name = "KNN"
-
-    def __init__(self, source: int, n: int) -> None:
+    def __init__(self, source: int, n: int, weighted: bool = False) -> None:
         self.source = source
         self.n = n
+        self.weighted = bool(weighted)
+        self.name = "WKNN" if self.weighted else "KNN"
 
     def unit_count(self) -> int:
         return self.n
 
     def evaluate(self, world: World) -> np.ndarray:
+        if self.weighted:
+            return world.weighted_distances(self.source)
         dist = world.bfs_distances(self.source).astype(np.float64)
         dist[dist < 0] = UNREACHABLE
         return dist
 
     def evaluate_batch(self, batch: "WorldBatch") -> np.ndarray:
-        """Source-to-all distances of every world from one batched BFS."""
+        """Source-to-all distances of every world from one batched pass."""
+        if self.weighted:
+            return batch.weighted_distances(self.source)
         dist = batch.bfs_distances(self.source).astype(np.float64)
         dist[dist < 0] = UNREACHABLE
         return dist
 
 
 def majority_distances(outcomes: np.ndarray) -> np.ndarray:
-    """Mode of each vertex's distance distribution (ties -> smallest)."""
+    """Mode of each vertex's distance distribution (ties -> smallest).
+
+    Sort-based mode over the whole ``(samples, n)`` matrix: sort each
+    column, find run boundaries on the column-major flattening, and pick
+    each column's first longest run — runs are in ascending value order,
+    so ties break towards the smallest value exactly like the old
+    per-column ``np.unique`` loop.
+    """
     samples, n = outcomes.shape
-    result = np.empty(n, dtype=np.float64)
-    for j in range(n):
-        values, counts = np.unique(outcomes[:, j], return_counts=True)
-        result[j] = values[np.argmax(counts)]
-    return result
+    if samples == 0:
+        raise ValueError("majority_distances needs at least one sample")
+    if n == 0:
+        return np.empty(0, dtype=np.float64)
+    flat = np.sort(outcomes, axis=0).T.ravel()
+    is_start = np.empty(flat.shape, dtype=bool)
+    is_start[0] = True
+    # nans sort to the end of each column and must pool into one run,
+    # matching np.unique's equal-nan behaviour.
+    is_start[1:] = (flat[1:] != flat[:-1]) & ~(
+        np.isnan(flat[1:]) & np.isnan(flat[:-1])
+    )
+    is_start[::samples] = True  # a new column always opens a new run
+    run_idx = np.flatnonzero(is_start)
+    counts = np.diff(np.append(run_idx, flat.size))
+    run_col = run_idx // samples
+    col_starts = np.searchsorted(run_col, np.arange(n))
+    best = counts == np.maximum.reduceat(counts, col_starts)[run_col]
+    best_runs = np.flatnonzero(best)
+    first_best = best_runs[np.searchsorted(run_col[best_runs], np.arange(n))]
+    return flat[run_idx[first_best]]
 
 
 def median_distances(outcomes: np.ndarray) -> np.ndarray:

@@ -2,11 +2,19 @@
 
 The uncertain shortest-path distance of a pair is the average of its
 distance over worlds *that connect the pair* (the paper excludes
-disconnecting worlds).  Per world, the outcome vector holds the BFS
+disconnecting worlds).  Per world, the outcome vector holds the
 distance of each requested pair, with ``nan`` where the pair is
 disconnected; estimators average with nan-exclusion.
 
-Pairs sharing a source are batched into a single BFS.
+Two distance notions are supported:
+
+- hop distance (default) — per-world BFS;
+- ``weighted=True`` — most-probable-path distance under the paper's
+  ``-log p`` spanner transform (after Potamias et al. [32]): per-world
+  binary-heap Dijkstra, or the batched delta-stepping kernel for
+  ensembles.
+
+Pairs sharing a source are batched into a single traversal.
 """
 
 from __future__ import annotations
@@ -54,15 +62,22 @@ def sample_vertex_pairs(
 
 
 class ShortestPathQuery:
-    """Per-pair BFS distances with nan for disconnected pairs."""
+    """Per-pair distances with nan for disconnected pairs.
 
-    name = "SP"
+    ``weighted=True`` switches from hop BFS to most-probable-path
+    distances on the ``-log p`` weight transform the worlds carry (the
+    outcome is ``-log`` of the pair's most probable path probability);
+    the nan-exclusion protocol is identical.
+    """
 
-    def __init__(self, pairs: list[tuple[int, int]]) -> None:
+    def __init__(self, pairs: list[tuple[int, int]], weighted: bool = False) -> None:
         if not pairs:
             raise ValueError("at least one vertex pair is required")
         self.pairs = list(pairs)
-        # Group pairs by source so each world runs one BFS per distinct source.
+        self.weighted = bool(weighted)
+        self.name = "WSP" if self.weighted else "SP"
+        # Group pairs by source so each world runs one traversal per
+        # distinct source.
         self._by_source: dict[int, list[tuple[int, int]]] = {}
         for idx, (s, t) in enumerate(self.pairs):
             self._by_source.setdefault(s, []).append((idx, t))
@@ -73,26 +88,40 @@ class ShortestPathQuery:
     def evaluate(self, world: World) -> np.ndarray:
         out = np.full(len(self.pairs), np.nan)
         for source, targets in self._by_source.items():
-            dist = world.bfs_distances(source)
-            for idx, t in targets:
-                d = dist[t]
-                if d >= 0:
-                    out[idx] = float(d)
+            if self.weighted:
+                dist = world.weighted_distances(source)
+                for idx, t in targets:
+                    d = dist[t]
+                    if np.isfinite(d):
+                        out[idx] = float(d)
+            else:
+                dist = world.bfs_distances(source)
+                for idx, t in targets:
+                    d = dist[t]
+                    if d >= 0:
+                        out[idx] = float(d)
         return out
 
     def evaluate_batch(self, batch: "WorldBatch") -> np.ndarray:
-        """One batched BFS per distinct source covers every world.
+        """One batched traversal per distinct source covers every world.
 
-        Each BFS retires a world as soon as that source's targets are
-        resolved (or provably unreachable), so worlds rarely pay for a
-        full traversal.
+        Each traversal (BFS or delta-stepping) retires a world as soon
+        as that source's targets are resolved (or provably
+        unreachable), so worlds rarely pay for a full pass.
         """
         out = np.full((batch.n_worlds, len(self.pairs)), np.nan)
         for source, targets in self._by_source.items():
             wanted = [t for _, t in targets]
-            dist = batch.bfs_distances(source, targets=wanted)
-            for idx, t in targets:
-                d = dist[:, t]
-                connected = d >= 0
-                out[connected, idx] = d[connected]
+            if self.weighted:
+                dist = batch.weighted_distances(source, targets=wanted)
+                for idx, t in targets:
+                    d = dist[:, t]
+                    connected = np.isfinite(d)
+                    out[connected, idx] = d[connected]
+            else:
+                dist = batch.bfs_distances(source, targets=wanted)
+                for idx, t in targets:
+                    d = dist[:, t]
+                    connected = d >= 0
+                    out[connected, idx] = d[connected]
         return out

@@ -4,6 +4,9 @@
   :class:`~repro.sampling.worlds.World` — vectorised world sampling,
 - :class:`~repro.sampling.batch.WorldBatch` — world *ensembles*: all
   sampled worlds evaluated at once as dense array programs,
+- :mod:`~repro.sampling.kernels` — the swappable traversal kernels
+  underneath (bit-packed BFS, batched delta-stepping for ``-log p``
+  most-probable-path distances, the per-world Dijkstra reference),
 - :mod:`~repro.sampling.exact` — exhaustive enumeration (Eq. 1),
 - :class:`~repro.sampling.monte_carlo.MonteCarloEstimator` — the MC
   query engine + variance protocol (batched by default),
@@ -16,6 +19,13 @@
 
 from repro.sampling.adaptive import AdaptiveResult, adaptive_estimate, samples_to_width
 from repro.sampling.batch import BatchTopology, WorldBatch, auto_batch_size
+from repro.sampling.kernels import (
+    BFS_KERNELS,
+    DEFAULT_BFS_KERNEL,
+    delta_stepping_distances,
+    dijkstra_distances,
+    most_probable_path_weights,
+)
 from repro.sampling.parallel import ParallelBatchExecutor, chunk_counts, resolve_workers
 from repro.sampling.exact import (
     exact_connectivity_probability,
@@ -36,7 +46,12 @@ from repro.sampling.worlds import World, WorldSampler
 
 __all__ = [
     "AdaptiveResult",
+    "BFS_KERNELS",
     "BatchTopology",
+    "DEFAULT_BFS_KERNEL",
+    "delta_stepping_distances",
+    "dijkstra_distances",
+    "most_probable_path_weights",
     "EstimationResult",
     "adaptive_estimate",
     "auto_batch_size",

@@ -8,8 +8,12 @@ shared parent CSR (:class:`BatchTopology`), and each graph primitive
 runs over *all* worlds simultaneously as dense NumPy kernels —
 
 - batched degrees via masked prefix sums over the shared CSR,
-- batched BFS with ``(worlds, vertices)`` boolean frontier matrices
-  (one scatter per level covers every world),
+- batched BFS through the swappable ensemble kernels of
+  :mod:`repro.sampling.kernels` (bit-packed uint64 frontiers by
+  default; the original boolean-frontier kernel stays selectable and
+  bit-identical),
+- batched *weighted* distances (the ``-log p`` most-probable-path
+  transform) via the bucketed delta-stepping kernel,
 - batched connected components via min-label propagation with pointer
   jumping,
 - batched triangle counting from a precomputed parent triangle table.
@@ -29,6 +33,7 @@ from collections.abc import Iterator
 
 import numpy as np
 
+from repro.sampling import kernels
 from repro.sampling.worlds import World
 
 #: Default memory budget (bytes) for one batch chunk's working arrays.
@@ -73,7 +78,7 @@ class BatchTopology:
 
     __slots__ = (
         "n", "m", "edge_vertices", "indptr", "indices", "dir_source",
-        "dir_edge", "_triangles",
+        "dir_edge", "_triangles", "_target_grouping",
     )
 
     def __init__(self, n: int, edge_vertices: np.ndarray) -> None:
@@ -94,6 +99,25 @@ class BatchTopology:
         counts = np.bincount(sources, minlength=n)
         self.indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
         self._triangles: tuple[np.ndarray, np.ndarray] | None = None
+        self._target_grouping: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    def target_grouping(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Directed edges grouped by *target*: ``(order, starts, empty)``.
+
+        ``order`` stably sorts the directed edges by target vertex,
+        ``starts`` gives each vertex's segment offset (for ``reduceat``
+        over arrays padded with one identity column), and ``empty``
+        flags vertices with no incident edges (whose ``reduceat`` slot
+        must be overwritten with the identity).  Built lazily and
+        cached — the traversal kernels scatter into targets every
+        level/relaxation.
+        """
+        if self._target_grouping is None:
+            order = np.argsort(self.indices, kind="stable")
+            counts = np.bincount(self.indices, minlength=self.n)
+            starts = np.concatenate([[0], np.cumsum(counts)[:-1]]).astype(np.int64)
+            self._target_grouping = (order, starts, counts == 0)
+        return self._target_grouping
 
     def triangle_table(self) -> tuple[np.ndarray, np.ndarray]:
         """Parent triangles as ``(corners (T, 3), edge_ids (T, 3))``.
@@ -168,6 +192,16 @@ class WorldBatch:
     topology:
         Optional precomputed :class:`BatchTopology` (one per graph —
         the samplers cache and share it across chunks).
+    edge_weights:
+        Optional ``(m,)`` non-negative weights per parent edge (the
+        samplers attach the ``-log p`` most-probable-path transform);
+        required by :meth:`weighted_distances`.
+    bfs_kernel:
+        Frontier kernel name for :meth:`bfs_distances` (``"packed"`` /
+        ``"boolean"``); ``None`` uses
+        :data:`repro.sampling.kernels.DEFAULT_BFS_KERNEL`.  All kernels
+        return bit-identical distances — the knob trades memory traffic,
+        never answers.
 
     Examples
     --------
@@ -180,7 +214,9 @@ class WorldBatch:
     """
 
     __slots__ = (
-        "n", "m", "n_worlds", "masks", "topology", "_alive_directed", "_labels",
+        "n", "m", "n_worlds", "masks", "topology", "edge_weights",
+        "bfs_kernel", "_alive_directed", "_labels", "_packed_masks",
+        "_packed_alive", "_alive_ordered",
     )
 
     def __init__(
@@ -189,6 +225,8 @@ class WorldBatch:
         edge_vertices: np.ndarray,
         masks: np.ndarray,
         topology: BatchTopology | None = None,
+        edge_weights: np.ndarray | None = None,
+        bfs_kernel: str | None = None,
     ) -> None:
         masks = np.asarray(masks, dtype=bool)
         if masks.ndim != 2:
@@ -200,17 +238,34 @@ class WorldBatch:
                 f"masks have {self.m} columns but the graph has "
                 f"{len(edge_vertices)} edges"
             )
+        if edge_weights is not None:
+            edge_weights = np.asarray(edge_weights, dtype=np.float64)
+            if edge_weights.shape != (self.m,):
+                raise ValueError(
+                    f"edge_weights must have shape ({self.m},), "
+                    f"got {edge_weights.shape}"
+                )
+        if bfs_kernel is not None:
+            kernels.resolve_bfs_kernel(bfs_kernel)  # fail fast on typos
         self.masks = masks
         self.topology = topology if topology is not None else BatchTopology(
             n, edge_vertices
         )
+        self.edge_weights = edge_weights
+        self.bfs_kernel = bfs_kernel
         self._alive_directed: np.ndarray | None = None
         self._labels: np.ndarray | None = None
+        self._packed_masks: np.ndarray | None = None
+        self._packed_alive: np.ndarray | None = None
+        self._alive_ordered: np.ndarray | None = None
 
     # -- per-world views ----------------------------------------------------
     def world(self, index: int) -> World:
         """Materialise world ``index`` as a legacy :class:`World`."""
-        return World(self.n, self.topology.edge_vertices, self.masks[index])
+        return World(
+            self.n, self.topology.edge_vertices, self.masks[index],
+            edge_weights=self.edge_weights,
+        )
 
     def iter_worlds(self) -> Iterator[World]:
         """Yield every world of the ensemble as a legacy :class:`World`."""
@@ -238,81 +293,57 @@ class WorldBatch:
 
     # -- traversal -----------------------------------------------------------
     def bfs_distances(
-        self, source: int, targets: "np.ndarray | list[int] | None" = None
+        self,
+        source: int,
+        targets: "np.ndarray | list[int] | None" = None,
+        kernel: str | None = None,
     ) -> np.ndarray:
         """``(N, n)`` BFS distances from ``source`` in every world (-1 unreachable).
 
-        Each level expands the frontier of *all still-growing worlds* at
-        once: activate the directed edges leaving any frontier vertex,
-        scatter their targets through one flat ``bincount``, and retire
-        worlds whose frontier emptied.
+        Dispatches to an ensemble kernel from
+        :mod:`repro.sampling.kernels` — bit-packed uint64 frontiers by
+        default, the boolean-frontier original via
+        ``kernel="boolean"`` — every kernel returning bit-identical
+        distances.
 
-        With ``targets``, a world also retires as soon as every listed
+        With ``targets``, a world retires as soon as every listed
         vertex has a distance — its other entries may then still read
         ``-1``, so only consume the target columns (the point-to-point
         query optimisation; BFS levels are deterministic, so the target
         distances are unaffected by the early exit).
         """
-        N, n = self.n_worlds, self.n
-        dist = np.full((N, n), -1, dtype=np.int64)
-        dist[:, source] = 0
-        reached = np.zeros((N, n), dtype=bool)
-        reached[:, source] = True
-        alive = self.alive_directed()
-        src, dst = self.topology.dir_source, self.topology.indices
-        if targets is not None:
-            targets = np.asarray(targets, dtype=np.int64)
-        indptr = self.topology.indptr
-        rows = np.arange(N)
-        if targets is not None and targets.size:
-            rows = rows[~reached[:, targets].all(axis=1)]
-        frontier = np.zeros((N, n), dtype=bool)
-        frontier[:, source] = True
-        frontier = frontier[rows]
-        level = 0
-        while rows.size:
-            level += 1
-            # Hybrid expansion: wide frontiers activate edges with one
-            # contiguous pass; narrow ones gather only the CSR segments
-            # of vertices that front in *some* world, so the long tail
-            # of levels costs almost nothing.
-            cols = np.flatnonzero(frontier.any(axis=0))
-            lengths = indptr[cols + 1] - indptr[cols]
-            total = int(lengths.sum())
-            if total == 0:
-                break
-            if total * 4 >= alive.shape[1]:
-                active = alive[rows] & frontier[:, src]
-                w_loc, e_loc = np.nonzero(active)
-                if w_loc.size == 0:
-                    break
-                flat = w_loc * n + dst[e_loc]
-            else:
-                e_sub = np.repeat(
-                    indptr[cols]
-                    - np.concatenate([[0], np.cumsum(lengths)[:-1]]),
-                    lengths,
-                ) + np.arange(total)
-                src_sub = np.repeat(cols, lengths)
-                active = alive[np.ix_(rows, e_sub)] & frontier[:, src_sub]
-                w_loc, e_loc = np.nonzero(active)
-                if w_loc.size == 0:
-                    break
-                flat = w_loc * n + dst[e_sub[e_loc]]
-            hit = np.bincount(flat, minlength=rows.size * n)
-            hit = hit.reshape(rows.size, n).astype(bool)
-            new = hit & ~reached[rows]
-            w_new, v_new = np.nonzero(new)
-            if w_new.size == 0:
-                break
-            dist[rows[w_new], v_new] = level
-            reached[rows[w_new], v_new] = True
-            keep = new.any(axis=1)
-            if targets is not None and targets.size:
-                keep &= ~reached[np.ix_(rows, targets)].all(axis=1)
-            rows = rows[keep]
-            frontier = new[keep]
-        return dist
+        run = kernels.resolve_bfs_kernel(
+            kernel if kernel is not None else self.bfs_kernel
+        )
+        return run(self, source, targets)
+
+    def weighted_distances(
+        self,
+        source: int,
+        targets: "np.ndarray | list[int] | None" = None,
+        weights: np.ndarray | None = None,
+        delta: "float | None" = None,
+    ) -> np.ndarray:
+        """``(N, n)`` weighted distances in every world (``inf`` unreachable).
+
+        Weights default to the batch's attached ``edge_weights`` (the
+        samplers supply the ``-log p`` most-probable-path transform, so
+        the result is ``-log`` of each pair's most probable path
+        probability).  Computed by the batched delta-stepping kernel
+        (:func:`repro.sampling.kernels.delta_stepping_distances`);
+        ``targets`` enables the same per-world early exit as
+        :meth:`bfs_distances` — only consume the target columns then.
+        """
+        if weights is None:
+            weights = self.edge_weights
+        if weights is None:
+            raise ValueError(
+                "no edge weights: pass weights= or build the batch through "
+                "a WorldSampler (which attaches the -log p transform)"
+            )
+        return kernels.delta_stepping_distances(
+            self, source, weights, delta=delta, targets=targets
+        )
 
     def reachable_from(self, source: int) -> np.ndarray:
         """``(N, n)`` boolean reachability from ``source`` per world.

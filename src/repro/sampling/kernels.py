@@ -1,0 +1,533 @@
+"""Ensemble traversal kernels: the swappable compute layer under WorldBatch.
+
+:class:`~repro.sampling.batch.WorldBatch` is the *data* layout of a
+world ensemble — an ``(N, m)`` mask matrix over one shared parent CSR.
+This module holds the *traversal* kernels that run over that layout, so
+the batch object stays a thin facade and alternative backends (packed
+CPU words today, a GPU array library tomorrow) plug in behind the same
+interface:
+
+- :func:`bfs_distances_boolean` — the original ``(worlds, vertices)``
+  boolean-frontier BFS, one scatter per level across every world;
+- :func:`bfs_distances_packed` — the same BFS with worlds bit-packed
+  into uint64 words: frontier / visited sets are ``(vertices, words)``
+  matrices (~8x less memory traffic) and each level expands all 64
+  worlds of a word with single bitwise AND/OR passes over the shared
+  CSR.  Distances are **bit-identical** to the boolean kernel — BFS
+  levels do not depend on the frontier representation — which the
+  seeded property tests in ``tests/test_kernels.py`` enforce;
+- :func:`delta_stepping_distances` — batched bucketed delta-stepping
+  for *weighted* distances (the paper's ``-log p`` most-probable-path
+  transform, after Potamias et al. [32]): one shared bucket schedule,
+  a per-world tentative-distance matrix, and settled worlds dropping
+  out of the working set;
+- :func:`dijkstra_distances` — the per-world binary-heap reference
+  (``repro.utils.heap.IndexedMaxHeap`` with negated keys) used by the
+  legacy ``Query.evaluate`` protocol and as the test oracle for the
+  batched kernel.
+
+Kernels are deliberately ignorant of :class:`WorldBatch` itself; they
+consume the duck-typed surface (``n``, ``n_worlds``, ``masks``,
+``topology``, ``alive_directed()``) so they never import the batch
+module and the dependency points one way only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.heap import IndexedMaxHeap
+
+#: Kernel used by :meth:`WorldBatch.bfs_distances` when none is named.
+DEFAULT_BFS_KERNEL = "packed"
+
+#: Bits per packed frontier word.
+WORD_BITS = 64
+
+
+# ----------------------------------------------------------------------
+# Weight transform
+# ----------------------------------------------------------------------
+def most_probable_path_weights(probabilities: np.ndarray) -> np.ndarray:
+    """``w_e = -log p_e``: most-probable paths become shortest paths [32].
+
+    Probabilities above 1 are clipped (``w >= 0`` always, and ``p = 1``
+    maps to exactly ``+0.0``); non-positive probabilities — impossible
+    in an :class:`UncertainGraph` but representable in raw arrays — map
+    to ``inf``, i.e. an edge no shortest path may use.
+    """
+    p = np.asarray(probabilities, dtype=np.float64)
+    weights = np.full(p.shape, np.inf, dtype=np.float64)
+    positive = p > 0.0
+    weights[positive] = -np.log(np.minimum(p[positive], 1.0))
+    return np.maximum(weights, 0.0)
+
+
+# ----------------------------------------------------------------------
+# Shared frontier plumbing
+# ----------------------------------------------------------------------
+def _csr_segment_indices(
+    indptr: np.ndarray, cols: np.ndarray, lengths: np.ndarray, total: int
+) -> np.ndarray:
+    """Directed-edge positions of the CSR segments of vertices ``cols``.
+
+    The narrow-frontier gather every kernel shares: concatenate the
+    half-open CSR ranges ``[indptr[c], indptr[c+1])`` of the frontier
+    vertices without a Python loop.
+    """
+    return np.repeat(
+        indptr[cols] - np.concatenate([[0], np.cumsum(lengths)[:-1]]),
+        lengths,
+    ) + np.arange(total)
+
+
+# ----------------------------------------------------------------------
+# Boolean-frontier BFS (the original WorldBatch kernel, moved here)
+# ----------------------------------------------------------------------
+def bfs_distances_boolean(
+    batch, source: int, targets: "np.ndarray | list[int] | None" = None
+) -> np.ndarray:
+    """``(N, n)`` BFS distances from ``source`` in every world (-1 unreachable).
+
+    Each level expands the frontier of *all still-growing worlds* at
+    once: activate the directed edges leaving any frontier vertex,
+    scatter their targets through one flat ``bincount``, and retire
+    worlds whose frontier emptied.
+
+    With ``targets``, a world also retires as soon as every listed
+    vertex has a distance — its other entries may then still read
+    ``-1``, so only consume the target columns (the point-to-point
+    query optimisation; BFS levels are deterministic, so the target
+    distances are unaffected by the early exit).
+    """
+    N, n = batch.n_worlds, batch.n
+    dist = np.full((N, n), -1, dtype=np.int64)
+    dist[:, source] = 0
+    reached = np.zeros((N, n), dtype=bool)
+    reached[:, source] = True
+    alive = batch.alive_directed()
+    src, dst = batch.topology.dir_source, batch.topology.indices
+    if targets is not None:
+        targets = np.asarray(targets, dtype=np.int64)
+    indptr = batch.topology.indptr
+    rows = np.arange(N)
+    if targets is not None and targets.size:
+        rows = rows[~reached[:, targets].all(axis=1)]
+    frontier = np.zeros((N, n), dtype=bool)
+    frontier[:, source] = True
+    frontier = frontier[rows]
+    level = 0
+    while rows.size:
+        level += 1
+        # Hybrid expansion: wide frontiers activate edges with one
+        # contiguous pass; narrow ones gather only the CSR segments
+        # of vertices that front in *some* world, so the long tail
+        # of levels costs almost nothing.
+        cols = np.flatnonzero(frontier.any(axis=0))
+        lengths = indptr[cols + 1] - indptr[cols]
+        total = int(lengths.sum())
+        if total == 0:
+            break
+        if total * 4 >= alive.shape[1]:
+            active = alive[rows] & frontier[:, src]
+            w_loc, e_loc = np.nonzero(active)
+            if w_loc.size == 0:
+                break
+            flat = w_loc * n + dst[e_loc]
+        else:
+            e_sub = _csr_segment_indices(indptr, cols, lengths, total)
+            src_sub = np.repeat(cols, lengths)
+            active = alive[np.ix_(rows, e_sub)] & frontier[:, src_sub]
+            w_loc, e_loc = np.nonzero(active)
+            if w_loc.size == 0:
+                break
+            flat = w_loc * n + dst[e_sub[e_loc]]
+        hit = np.bincount(flat, minlength=rows.size * n)
+        hit = hit.reshape(rows.size, n).astype(bool)
+        new = hit & ~reached[rows]
+        w_new, v_new = np.nonzero(new)
+        if w_new.size == 0:
+            break
+        dist[rows[w_new], v_new] = level
+        reached[rows[w_new], v_new] = True
+        keep = new.any(axis=1)
+        if targets is not None and targets.size:
+            keep &= ~reached[np.ix_(rows, targets)].all(axis=1)
+        rows = rows[keep]
+        frontier = new[keep]
+    return dist
+
+
+# ----------------------------------------------------------------------
+# Bit-packed BFS
+# ----------------------------------------------------------------------
+def _pack_world_columns(matrix: np.ndarray) -> np.ndarray:
+    """Pack a ``(N, cols)`` boolean matrix into ``(cols, W)`` uint64 words.
+
+    World ``i`` lands in bit ``i % 8`` of byte ``i // 8`` of each
+    column; viewing 8 consecutive bytes as one machine word keeps the
+    pack/unpack mapping consistent on any endianness (all kernel
+    operations in between are pure bitwise AND/OR, which never look at
+    bit positions).
+    """
+    packed = np.packbits(
+        np.ascontiguousarray(matrix.T), axis=1, bitorder="little"
+    )
+    pad = (-packed.shape[1]) % 8
+    if pad:
+        packed = np.concatenate(
+            [packed, np.zeros((packed.shape[0], pad), dtype=np.uint8)], axis=1
+        )
+    return packed.view(np.uint64)
+
+
+def _world_word_mask(n_worlds: int) -> np.ndarray:
+    """``(W,)`` uint64 with exactly the worlds ``0..n_worlds-1`` set.
+
+    Built through the same packbits pipeline as the data matrices so
+    the bit <-> world mapping matches on any endianness.
+    """
+    return _pack_world_columns(np.ones((n_worlds, 1), dtype=bool))[0]
+
+
+def _batch_cached(batch, slot: str, build):
+    """Per-batch kernel cache: queries traverse from many sources, so
+    layout transforms of the (immutable) mask matrix are built once."""
+    cached = getattr(batch, slot, None)
+    if cached is None:
+        cached = build()
+        try:
+            setattr(batch, slot, cached)
+        except AttributeError:  # duck-typed batch without the cache slot
+            pass
+    return cached
+
+
+def _packed_masks(batch) -> np.ndarray:
+    """The batch's ``(m, W)`` packed mask matrix (cached on the batch)."""
+    return _batch_cached(
+        batch, "_packed_masks", lambda: _pack_world_columns(batch.masks)
+    )
+
+
+def _packed_alive_directed(batch) -> np.ndarray:
+    """``(2m, W)`` packed liveness per directed edge (cached on the batch)."""
+    return _batch_cached(
+        batch,
+        "_packed_alive",
+        lambda: _packed_masks(batch)[batch.topology.dir_edge],
+    )
+
+
+def _alive_target_ordered(batch, order: np.ndarray) -> np.ndarray:
+    """``(N, 2m)`` boolean liveness in target-sorted order (cached)."""
+    return _batch_cached(
+        batch, "_alive_ordered", lambda: batch.alive_directed()[:, order]
+    )
+
+
+def _unpack_word_entries(words: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Decode ``(k,)`` uint64 words into (entry index, bit position) pairs."""
+    bits = np.unpackbits(
+        words[:, None].view(np.uint8), axis=1, bitorder="little"
+    )
+    return np.nonzero(bits)
+
+
+def bfs_distances_packed(
+    batch, source: int, targets: "np.ndarray | list[int] | None" = None
+) -> np.ndarray:
+    """Bit-packed twin of :func:`bfs_distances_boolean` — same distances.
+
+    Frontier and visited sets live as ``(vertices, W)`` uint64 matrices
+    with the ensemble's worlds packed along the bits (``W = ceil(N/64)``
+    words), so one AND over the alive-edge words expands a level for 64
+    worlds at a time and the level loop moves ~8x fewer bytes than the
+    boolean kernel.  Wide frontiers group the activated edge words by
+    target vertex with a single ``bitwise_or.reduceat`` over the
+    target-sorted CSR; narrow frontiers gather only the touched CSR
+    segments and scatter with ``bitwise_or.at``.  BFS levels are a
+    property of the graph, not of the frontier encoding, so the
+    returned matrix — including the ``-1`` pattern left by the
+    ``targets`` early exit, which retires worlds under exactly the same
+    per-level condition — is bit-identical to the boolean kernel's.
+    """
+    N, n = batch.n_worlds, batch.n
+    dist = np.full((N, n), -1, dtype=np.int64)
+    if N == 0:
+        return dist
+    dist[:, source] = 0
+    topology = batch.topology
+    indptr, src, dst = topology.indptr, topology.dir_source, topology.indices
+    order, starts, empty = topology.target_grouping()
+    alive_packed = _packed_alive_directed(batch)
+    words = (N + WORD_BITS - 1) // WORD_BITS
+    world_mask = _world_word_mask(N)
+
+    visited = np.zeros((n, words), dtype=np.uint64)
+    visited[source] = world_mask
+    active = world_mask.copy()
+    if targets is not None:
+        targets = np.asarray(targets, dtype=np.int64)
+        if targets.size:
+            active &= ~np.bitwise_and.reduce(visited[targets], axis=0)
+    frontier = np.zeros((n, words), dtype=np.uint64)
+    frontier[source] = active
+    two_m = len(dst)
+    level = 0
+    while active.any():
+        level += 1
+        cols = np.flatnonzero(frontier.any(axis=1))
+        lengths = indptr[cols + 1] - indptr[cols]
+        total = int(lengths.sum())
+        if total == 0:
+            break
+        if total * 4 >= two_m:
+            activated = alive_packed & frontier[src]
+            padded = np.concatenate(
+                [activated[order], np.zeros((1, words), dtype=np.uint64)],
+                axis=0,
+            )
+            hit = np.bitwise_or.reduceat(padded, starts, axis=0)
+            hit[empty] = 0
+        else:
+            e_sub = _csr_segment_indices(indptr, cols, lengths, total)
+            activated = alive_packed[e_sub] & frontier[np.repeat(cols, lengths)]
+            hit = np.zeros((n, words), dtype=np.uint64)
+            np.bitwise_or.at(hit, dst[e_sub], activated)
+        new = hit & ~visited & active
+        if not new.any():
+            break
+        visited |= new
+        vertex_idx, word_idx = np.nonzero(new)
+        entry, bit = _unpack_word_entries(new[vertex_idx, word_idx])
+        dist[word_idx[entry] * WORD_BITS + bit, vertex_idx[entry]] = level
+        active &= np.bitwise_or.reduce(new, axis=0)
+        if targets is not None and targets.size:
+            active &= ~np.bitwise_and.reduce(visited[targets], axis=0)
+        frontier = new & active
+    return dist
+
+
+#: Registry of frontier kernels selectable per batch or per call.
+BFS_KERNELS = {
+    "boolean": bfs_distances_boolean,
+    "packed": bfs_distances_packed,
+}
+
+
+def resolve_bfs_kernel(name: "str | None"):
+    """Map a kernel name (or ``None`` for the default) to its function."""
+    key = DEFAULT_BFS_KERNEL if name is None else name
+    try:
+        return BFS_KERNELS[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown BFS kernel {key!r}; choose from {sorted(BFS_KERNELS)}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Batched weighted distances: bucketed delta-stepping
+# ----------------------------------------------------------------------
+def default_bucket_width(weights: np.ndarray) -> float:
+    """Coarse default: the maximum finite edge weight.
+
+    Any positive width is correct (the tests sweep several); the choice
+    only moves work between the bucket schedule and the light-phase
+    re-relaxations.  The classic scalar heuristic
+    (``max_w / avg_degree``) minimises *re-relaxation work*, but for a
+    vectorised ensemble the dominant cost is the number of full-width
+    relaxation passes, so coarse buckets win decisively: on a 5k-edge /
+    256-world benchmark, ``max_w`` runs ~5x faster than
+    ``max_w / avg_degree`` (95 buckets collapse to ~5).  ``max_w``
+    keeps every edge light while still producing a real multi-bucket
+    schedule whenever distances exceed one edge weight — which is what
+    the settled-world / target early exits prune on.  Graphs whose
+    finite weights are all zero (every ``p = 1``) get width 1: a single
+    bucket, degenerating to frontier-based batched relaxation.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    finite = weights[np.isfinite(weights) & (weights > 0)]
+    if finite.size == 0:
+        return 1.0
+    return float(finite.max())
+
+
+def delta_stepping_distances(
+    batch,
+    source: int,
+    weights: np.ndarray,
+    delta: "float | None" = None,
+    targets: "np.ndarray | list[int] | None" = None,
+) -> np.ndarray:
+    """``(N, n)`` weighted shortest-path distances in every world at once.
+
+    ``weights`` holds one non-negative weight per *parent* undirected
+    edge (``inf`` marks an unusable edge, e.g. the ``-log p`` image of a
+    zero-probability edge); unreachable vertices score ``inf``.
+
+    The kernel is classic delta-stepping lifted to the ensemble: a
+    ``(N, n)`` tentative-distance matrix, light/heavy edge classes split
+    at the bucket width ``delta``, and one **shared bucket schedule** —
+    the outer loop jumps to the smallest nonempty bucket over all still-
+    running worlds, and each relaxation is a masked gather + per-target
+    ``minimum.reduceat`` over the shared CSR.  Worlds contribute only
+    their own rows to every relaxation, so a world's result never
+    depends on its chunk-mates (rounds where a world's bucket is empty
+    reduce with ``inf`` and are exact no-ops); worlds whose pending set
+    empties — or, with ``targets``, whose target distances are all
+    final — retire from the working set.  As with the BFS early exit,
+    only consume the target columns of a targeted call.
+
+    Relaxation order differs from Dijkstra's, so agreement with the
+    per-world reference is up to float addition reordering (the seeded
+    property tests bound it at ``rtol = 1e-9``).
+    """
+    N, n = batch.n_worlds, batch.n
+    topology = batch.topology
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (batch.m,):
+        raise ValueError(
+            f"weights must have shape ({batch.m},), got {weights.shape}"
+        )
+    if np.any(weights < 0):
+        raise ValueError("edge weights must be non-negative")
+    if delta is None:
+        delta = default_bucket_width(weights)
+    delta = float(delta)
+    if not delta > 0:
+        raise ValueError(f"delta must be positive, got {delta}")
+
+    tent = np.full((N, n), np.inf, dtype=np.float64)
+    tent[:, source] = 0.0
+    if N == 0 or n == 0:
+        return tent
+    order, starts, empty = topology.target_grouping()
+    indptr, src, dst = topology.indptr, topology.dir_source, topology.indices
+    weight_dir = weights[topology.dir_edge]
+    alive = batch.alive_directed()
+    # Directed-edge arrays pre-permuted into target-sorted order so a
+    # wide relaxation is gather -> add -> one reduceat, no per-round
+    # reshuffle.
+    weight_ordered = weight_dir[order]
+    source_ordered = src[order]
+    alive_ordered = _alive_target_ordered(batch, order)
+    light_dir = weight_dir <= delta
+    light_ordered = light_dir[order]
+    two_m = len(weight_dir)
+    if targets is not None:
+        targets = np.asarray(targets, dtype=np.int64)
+        if targets.size == 0:
+            targets = None
+
+    def relax(rows: np.ndarray, frontier: np.ndarray, want_light: bool) -> np.ndarray:
+        """Min candidate distance per (world row, vertex) via ``frontier``.
+
+        Hybrid like the BFS kernels: wide frontiers take one contiguous
+        pass over all directed edges (per-target ``minimum.reduceat``);
+        narrow ones gather only the frontier vertices' CSR segments and
+        scatter with ``minimum.at``.  Minimum is exact in floating
+        point, so both branches return bitwise-identical rows — the
+        branch choice can never leak between worlds.
+        """
+        cols = np.flatnonzero(frontier.any(axis=0))
+        lengths = indptr[cols + 1] - indptr[cols]
+        total = int(lengths.sum())
+        relaxed = np.full((len(rows), n), np.inf)
+        if total == 0:
+            return relaxed
+        if total * 4 >= two_m:
+            edge_class = light_ordered if want_light else ~light_ordered
+            activated = alive_ordered[rows] & frontier[:, source_ordered] & edge_class
+            candidates = np.where(
+                activated, tent[rows][:, source_ordered] + weight_ordered, np.inf
+            )
+            padded = np.concatenate(
+                [candidates, np.full((len(rows), 1), np.inf)], axis=1
+            )
+            relaxed = np.minimum.reduceat(padded, starts, axis=1)
+            relaxed[:, empty] = np.inf
+            return relaxed
+        e_sub = _csr_segment_indices(indptr, cols, lengths, total)
+        edge_class = light_dir[e_sub] if want_light else ~light_dir[e_sub]
+        activated = (
+            alive[np.ix_(rows, e_sub)]
+            & frontier[:, np.repeat(cols, lengths)]
+            & edge_class
+        )
+        w_loc, e_loc = np.nonzero(activated)
+        if w_loc.size == 0:
+            return relaxed
+        hits = e_sub[e_loc]
+        values = tent[rows[w_loc], src[hits]] + weight_dir[hits]
+        np.minimum.at(relaxed, (w_loc, dst[hits]), values)
+        return relaxed
+
+    rows = np.arange(N)
+    bucket = 0
+    while rows.size:
+        tentative = tent[rows]
+        lower = bucket * delta
+        pending = np.isfinite(tentative) & (tentative >= lower)
+        keep = pending.any(axis=1)
+        if targets is not None:
+            keep &= ~(tentative[:, targets] < lower).all(axis=1)
+        rows = rows[keep]
+        if rows.size == 0:
+            break
+        tentative = tentative[keep]
+        pending = pending[keep]
+        # Shared schedule: jump to the smallest nonempty bucket anywhere.
+        bucket = int(np.where(pending, tentative, np.inf).min() // delta)
+        upper = (bucket + 1) * delta
+        current = pending & (tentative < upper)
+        settled = np.zeros_like(current)
+        while current.any():
+            settled |= current
+            relaxed = relax(rows, current, want_light=True)
+            tentative = tent[rows]
+            improved = relaxed < tentative
+            tentative = np.minimum(tentative, relaxed)
+            tent[rows] = tentative
+            # Re-insertions: improvements always land at >= bucket*delta
+            # (weights are non-negative), so < upper pins them to this
+            # bucket — including vertices already settled this phase.
+            current = improved & (tentative < upper)
+        tent[rows] = np.minimum(tent[rows], relax(rows, settled, want_light=False))
+        bucket += 1
+    return tent
+
+
+# ----------------------------------------------------------------------
+# Per-world reference: binary-heap Dijkstra
+# ----------------------------------------------------------------------
+def dijkstra_distances(
+    n: int,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    weights: np.ndarray,
+    source: int,
+) -> np.ndarray:
+    """Single-source weighted distances on one world's CSR (``inf`` = cut off).
+
+    The reference implementation behind ``Query.evaluate`` for weighted
+    queries and the oracle the batched delta-stepping kernel is tested
+    against: Dijkstra on an indexed binary heap
+    (:class:`~repro.utils.heap.IndexedMaxHeap` with negated keys, so
+    decrease-key is a real ``update`` instead of lazy deletion).
+    ``weights`` is aligned with the CSR's directed edges.
+    """
+    dist = np.full(n, np.inf, dtype=np.float64)
+    dist[source] = 0.0
+    heap = IndexedMaxHeap({int(source): 0.0})
+    while heap:
+        u, negative = heap.pop()
+        d = -negative
+        for slot in range(int(indptr[u]), int(indptr[u + 1])):
+            v = int(indices[slot])
+            candidate = d + float(weights[slot])
+            if candidate < dist[v]:
+                dist[v] = candidate
+                heap.update(v, -candidate)
+    return dist

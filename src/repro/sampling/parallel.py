@@ -96,6 +96,7 @@ def _init_worker(
 ) -> None:
     """Pool initializer: cache arrays + topology once per worker process."""
     from repro.sampling.batch import BatchTopology
+    from repro.sampling.kernels import most_probable_path_weights
 
     edge_vertices = np.asarray(edge_vertices)
     probabilities = np.asarray(probabilities)
@@ -107,6 +108,10 @@ def _init_worker(
     _WORKER_STATE["probabilities"] = probabilities
     _WORKER_STATE["query"] = query
     _WORKER_STATE["topology"] = BatchTopology(int(n), edge_vertices)
+    # The -log p transform rides the initializer (derived from the
+    # probabilities already shipped), so weighted queries never pay
+    # per-chunk weight IPC.
+    _WORKER_STATE["edge_weights"] = most_probable_path_weights(probabilities)
 
 
 def _pool_evaluate_masks(masks: np.ndarray) -> np.ndarray:
@@ -116,7 +121,8 @@ def _pool_evaluate_masks(masks: np.ndarray) -> np.ndarray:
 
     state = _WORKER_STATE
     batch = WorldBatch(
-        state["n"], state["edge_vertices"], masks, topology=state["topology"]
+        state["n"], state["edge_vertices"], masks, topology=state["topology"],
+        edge_weights=state["edge_weights"],
     )
     return evaluate_query_batch(state["query"], batch)
 

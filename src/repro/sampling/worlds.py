@@ -35,11 +35,21 @@ class World:
         ``(m, 2)`` endpoints of the *parent* uncertain graph.
     mask:
         Boolean array choosing which parent edges exist here.
+    edge_weights:
+        Optional ``(m,)`` weights per *parent* edge (the samplers pass
+        the ``-log p`` most-probable-path transform); stored aligned
+        with this world's CSR so :meth:`weighted_distances` works.
     """
 
-    __slots__ = ("n", "mask", "indptr", "indices", "_edge_count")
+    __slots__ = ("n", "mask", "indptr", "indices", "edge_weights", "_edge_count")
 
-    def __init__(self, n: int, edge_vertices: np.ndarray, mask: np.ndarray) -> None:
+    def __init__(
+        self,
+        n: int,
+        edge_vertices: np.ndarray,
+        mask: np.ndarray,
+        edge_weights: np.ndarray | None = None,
+    ) -> None:
         self.n = n
         self.mask = mask
         alive = np.flatnonzero(mask)
@@ -53,6 +63,12 @@ class World:
         self.indices = targets[order]
         counts = np.bincount(sources, minlength=n)
         self.indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        if edge_weights is None:
+            self.edge_weights = None
+        else:
+            self.edge_weights = np.asarray(edge_weights, dtype=np.float64)[
+                np.concatenate([alive, alive])[order]
+            ]
 
     # -- basic structure ----------------------------------------------------
     def number_of_edges(self) -> int:
@@ -95,6 +111,25 @@ class World:
             dist[nxt] = level
             frontier = nxt
         return dist
+
+    def weighted_distances(self, source: int) -> np.ndarray:
+        """Weighted shortest-path distances from ``source`` (``inf`` unreachable).
+
+        Binary-heap Dijkstra over this world's CSR using the attached
+        parent-edge weights (the ``-log p`` transform when the world
+        came from a :class:`WorldSampler`): the per-world reference for
+        the batched delta-stepping kernel.
+        """
+        if self.edge_weights is None:
+            raise ValueError(
+                "world has no edge weights: build it through a WorldSampler "
+                "or pass edge_weights= to World()"
+            )
+        from repro.sampling.kernels import dijkstra_distances
+
+        return dijkstra_distances(
+            self.n, self.indptr, self.indices, self.edge_weights, source
+        )
 
     def reachable_from(self, source: int) -> np.ndarray:
         """Boolean reachability vector from ``source``."""
@@ -163,6 +198,21 @@ class WorldSampler:
         self.probabilities = np.array(graph.probability_array())
         self.m = len(self.probabilities)
         self._topology = None  # shared BatchTopology, built on first batch
+        self._edge_weights = None  # -log p transform, built on first use
+
+    @property
+    def edge_weights(self) -> np.ndarray:
+        """``(m,)`` most-probable-path weights ``-log p`` (cached, read-only).
+
+        Attached to every sampled :class:`World` / batch so weighted
+        queries work on any evaluation path without extra plumbing.
+        """
+        if self._edge_weights is None:
+            from repro.sampling.kernels import most_probable_path_weights
+
+            self._edge_weights = most_probable_path_weights(self.probabilities)
+            self._edge_weights.setflags(write=False)
+        return self._edge_weights
 
     def sample_mask(self, rng: "int | np.random.Generator | None" = None) -> np.ndarray:
         """One boolean edge-presence mask."""
@@ -171,15 +221,22 @@ class WorldSampler:
 
     def sample(self, rng: "int | np.random.Generator | None" = None) -> World:
         """One possible world."""
-        return World(self.n, self.edge_vertices, self.sample_mask(rng))
+        return World(
+            self.n, self.edge_vertices, self.sample_mask(rng),
+            edge_weights=self.edge_weights,
+        )
 
     def sample_many(
         self, count: int, rng: "int | np.random.Generator | None" = None
     ) -> Iterator[World]:
         """Yield ``count`` independent worlds from one generator."""
         rng = ensure_rng(rng)
+        weights = self.edge_weights
         for _ in range(count):
-            yield World(self.n, self.edge_vertices, self.sample_mask(rng))
+            yield World(
+                self.n, self.edge_vertices, self.sample_mask(rng),
+                edge_weights=weights,
+            )
 
     def sample_mask_matrix(
         self, count: int, rng: "int | np.random.Generator | None" = None
@@ -212,7 +269,8 @@ class WorldSampler:
         if self._topology is None:
             self._topology = BatchTopology(self.n, self.edge_vertices)
         return WorldBatch(
-            self.n, self.edge_vertices, masks, topology=self._topology
+            self.n, self.edge_vertices, masks, topology=self._topology,
+            edge_weights=self.edge_weights,
         )
 
     def world_from_mask(self, mask: np.ndarray) -> World:
@@ -220,7 +278,9 @@ class WorldSampler:
         mask = np.asarray(mask, dtype=bool)
         if mask.shape != (self.m,):
             raise ValueError(f"mask must have shape ({self.m},), got {mask.shape}")
-        return World(self.n, self.edge_vertices, mask)
+        return World(
+            self.n, self.edge_vertices, mask, edge_weights=self.edge_weights
+        )
 
     def log_world_probability(self, mask: np.ndarray) -> float:
         """Log-probability of a specific world under edge independence."""

@@ -119,6 +119,30 @@ class TestEstimate:
         output = capsys.readouterr().out
         assert "scalar estimate:  1.000000" in output
 
+    def test_weighted_distance(self, graph_file, capsys):
+        code = main([
+            "estimate", str(graph_file), "--query", "distance", "--weighted",
+            "--samples", "30", "--pairs", "10",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "distance (weighted -log p)" in output
+        assert "scalar estimate:" in output
+
+    def test_weighted_distance_on_certain_path_is_zero(self, tmp_path, capsys):
+        path = tmp_path / "p.txt"
+        path.write_text("a b 1.0\nb c 1.0\n")
+        main(["estimate", str(path), "--query", "distance", "--weighted",
+              "--samples", "20", "--pairs", "3"])
+        output = capsys.readouterr().out
+        assert "scalar estimate:  0.000000" in output
+
+    def test_weighted_rejected_for_other_queries(self, graph_file, capsys):
+        assert main([
+            "estimate", str(graph_file), "--query", "pagerank", "--weighted",
+        ]) == 1
+        assert "--weighted only applies" in capsys.readouterr().err
+
 
 class TestDiagnose:
     def test_diagnose_output(self, graph_file, tmp_path, capsys):

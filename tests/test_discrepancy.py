@@ -25,6 +25,47 @@ def make_sparsified(graph, keep_fraction=0.5, new_p=None):
     return graph.subgraph_with_edges(kept)
 
 
+def loop_degree_discrepancy(original, sparsified, relative=False):
+    """The pre-vectorisation per-vertex reference implementation."""
+    deltas = np.empty(original.number_of_vertices(), dtype=np.float64)
+    for i, vertex in enumerate(original.vertices()):
+        d_orig = original.expected_degree(vertex)
+        d_new = sparsified.expected_degree(vertex)
+        delta = d_orig - d_new
+        if relative:
+            delta = delta / d_orig if d_orig > 0 else 0.0
+        deltas[i] = delta
+    return deltas
+
+
+class TestVectorizedDiscrepancy:
+    """Seeded regression: the array version pins the old loop's output."""
+
+    @pytest.mark.parametrize("seed", [0, 3, 9])
+    @pytest.mark.parametrize("relative", [False, True])
+    def test_matches_reference_loop(self, seed, relative):
+        graph = flickr_like(n=50, avg_degree=10, seed=seed)
+        sparsified = make_sparsified(graph, keep_fraction=0.4)
+        fast = degree_discrepancy_vector(graph, sparsified, relative=relative)
+        slow = loop_degree_discrepancy(graph, sparsified, relative=relative)
+        assert np.allclose(fast, slow, rtol=1e-12, atol=1e-12)
+
+    def test_reindexed_vertex_order(self, triangle):
+        # Same vertex set, different insertion order: the slow mapping
+        # branch must still align with the *original* indexer.
+        shuffled = UncertainGraph(
+            [("c", "b", 0.25), ("a", "b", 0.5)], vertices=["c", "b", "a"]
+        )
+        fast = degree_discrepancy_vector(triangle, shuffled)
+        slow = loop_degree_discrepancy(triangle, shuffled)
+        assert np.allclose(fast, slow, rtol=1e-12, atol=1e-12)
+
+    def test_empty_sparsified(self, triangle):
+        empty = UncertainGraph(vertices=triangle.vertices())
+        fast = degree_discrepancy_vector(triangle, empty)
+        assert np.allclose(fast, triangle.expected_degree_array())
+
+
 class TestDiscrepancyFunctions:
     def test_identity_has_zero_discrepancy(self, triangle):
         deltas = degree_discrepancy_vector(triangle, triangle)

@@ -6,6 +6,7 @@ MC budgets) checks that each run function returns well-formed tables —
 fast enough for the unit suite.
 """
 
+import dataclasses
 import math
 
 import pytest
@@ -18,6 +19,7 @@ from repro.experiments import (
     run_fig07,
     run_fig08,
     run_fig09,
+    run_fig09_estimation,
     run_fig10,
     run_fig11,
     run_fig12,
@@ -76,6 +78,14 @@ def test_fig09():
         assert_table_ok(table, rows=3)
 
 
+def test_fig09_estimation():
+    results = run_fig09_estimation(MICRO)
+    for table in results.values():
+        assert_table_ok(table, rows=3)
+        assert table.column("query") == ["SP", "WSP", "RL"]
+        assert all(s >= 0 for s in table.column("seconds"))
+
+
 def test_fig10_single_query():
     results = run_fig10(MICRO, query_names=("RL",))
     for tables in results.values():
@@ -83,10 +93,27 @@ def test_fig10_single_query():
         assert_table_ok(tables["RL"], rows=4)
 
 
+def test_fig10_weighted_query():
+    results = run_fig10(MICRO, query_names=("WSP",))
+    for tables in results.values():
+        assert set(tables) == {"WSP"}
+        assert_table_ok(tables["WSP"], rows=4)
+
+
 def test_fig11_single_query():
     tables = run_fig11(MICRO, query_names=("PR",))
     assert set(tables) == {"PR"}
     assert_table_ok(tables["PR"], rows=4)
+
+
+def test_fig11_weighted_query():
+    # Sparse density rungs can disconnect a pair in every sampled world
+    # at micro scale (an all-nan unit for SP and WSP alike), so sweep
+    # only the dense rungs here.
+    dense = dataclasses.replace(MICRO, densities=(0.5, 0.9))
+    tables = run_fig11(dense, query_names=("WSP",))
+    assert set(tables) == {"WSP"}
+    assert_table_ok(tables["WSP"], rows=4)
 
 
 def test_fig12_single_query():

@@ -32,6 +32,18 @@ class TestSourceDistanceQuery:
     def test_unit_count(self):
         assert SourceDistanceQuery(0, 7).unit_count() == 7
 
+    def test_weighted_distances_are_minus_log_path_probability(self, path4):
+        query = SourceDistanceQuery(0, 4, weighted=True)
+        out = query.evaluate(full_world(path4))
+        # path4 probabilities: 0.9, 0.8, 0.7 along the line
+        expected = [0.0, -np.log(0.9), -np.log(0.9 * 0.8), -np.log(0.9 * 0.8 * 0.7)]
+        assert np.allclose(out, expected)
+
+    def test_weighted_unreachable_is_inf(self):
+        g = UncertainGraph([(0, 1, 1.0), (2, 3, 1.0)])
+        out = SourceDistanceQuery(0, 4, weighted=True).evaluate(full_world(g))
+        assert out[2] == np.inf and out[3] == np.inf
+
 
 class TestAggregates:
     def test_majority_takes_mode(self):
@@ -50,6 +62,30 @@ class TestAggregates:
         outcomes = np.array([[1.0, 5.0], [3.0, 5.0], [2.0, np.inf]])
         med = median_distances(outcomes)
         assert med[0] == 2.0 and med[1] == 5.0
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_majority_matches_unique_loop(self, seed):
+        # Regression for the sort-based vectorisation: exact equality
+        # with the old per-column np.unique mode, ties and infs included.
+        rng = np.random.default_rng(seed)
+        outcomes = rng.integers(0, 4, size=(25, 12)).astype(np.float64)
+        outcomes[rng.random((25, 12)) < 0.25] = np.inf
+        expected = np.empty(12)
+        for j in range(12):
+            values, counts = np.unique(outcomes[:, j], return_counts=True)
+            expected[j] = values[np.argmax(counts)]
+        assert np.array_equal(majority_distances(outcomes), expected)
+
+    def test_majority_single_sample_and_column(self):
+        assert majority_distances(np.array([[4.0]]))[0] == 4.0
+        assert majority_distances(np.empty((3, 0))).shape == (0,)
+
+    def test_majority_pools_nans_like_unique(self):
+        # Distances never produce nan, but the public helper keeps
+        # np.unique's equal-nan pooling for arbitrary outcome matrices.
+        outcomes = np.array([[np.nan, np.nan], [np.nan, 1.0], [1.0, 1.0]])
+        result = majority_distances(outcomes)
+        assert np.isnan(result[0]) and result[1] == 1.0
 
 
 class TestKNN:
