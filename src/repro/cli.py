@@ -58,6 +58,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--h", type=float, default=0.05, dest="entropy_h",
         help="entropy parameter h in [0, 1] (default 0.05)",
     )
+    sparsify_cmd.add_argument(
+        "--engine", choices=["vector", "loop"], default="vector",
+        help="GDB/EMD sweep engine: the array-native engine (default) or "
+        "the scalar reference loop",
+    )
 
     info_cmd = sub.add_parser("info", help="print graph statistics")
     info_cmd.add_argument("input", help="edge list path")
@@ -139,7 +144,8 @@ def _build_parser() -> argparse.ArgumentParser:
 def _cmd_sparsify(args: argparse.Namespace) -> int:
     graph = read_edge_list(args.input)
     sparsified = sparsify(
-        graph, args.alpha, variant=args.variant, rng=args.seed, h=args.entropy_h
+        graph, args.alpha, variant=args.variant, rng=args.seed,
+        h=args.entropy_h, engine=args.engine,
     )
     write_edge_list(sparsified, args.output)
     print(

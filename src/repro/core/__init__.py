@@ -27,9 +27,17 @@ from repro.core.discrepancy import (
     delta_1,
 )
 from repro.core.emd_sparsifier import EMDConfig, emd
-from repro.core.entropy import edge_entropy, entropy_array, graph_entropy, relative_entropy
+from repro.core.entropy import (
+    edge_entropy,
+    entropy_array,
+    entropy_increases,
+    graph_entropy,
+    relative_entropy,
+)
 from repro.core.gdb import GDBConfig, gdb, gdb_refine
+from repro.core.grid import GridCell, gdb_grid
 from repro.core.lp import lp_assign_probabilities, lp_sparsify
+from repro.core.sweep import SweepPlan, build_sweep_plan, greedy_edge_coloring
 from repro.core.sparsify import (
     VariantSpec,
     available_variants,
@@ -44,12 +52,15 @@ __all__ = [
     "SparsificationReport",
     "analyze_sparsification",
     "GDBConfig",
+    "GridCell",
     "SparsificationState",
+    "SweepPlan",
     "UncertainGraph",
     "VariantSpec",
     "available_variants",
     "bgi_backbone",
     "build_backbone",
+    "build_sweep_plan",
     "check_budget",
     "cut_discrepancy",
     "d1_objective",
@@ -58,9 +69,12 @@ __all__ = [
     "edge_entropy",
     "emd",
     "entropy_array",
+    "entropy_increases",
     "gdb",
+    "gdb_grid",
     "gdb_refine",
     "graph_entropy",
+    "greedy_edge_coloring",
     "local_degree_backbone",
     "lp_assign_probabilities",
     "lp_sparsify",

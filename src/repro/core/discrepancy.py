@@ -128,13 +128,18 @@ class SparsificationState:
     edge has a current probability ``phat[eid]`` which is 0 for edges not
     presently in the sparsified edge set.
 
-    Maintained invariants (O(1) per update):
+    Maintained invariants (O(1) per scalar update, O(batch) vectorised):
 
     - ``delta[u] = d_G(u) - sum_{e in E', e ~ u} phat[e]``  (absolute
       degree discrepancy of every vertex),
     - ``total_residual = sum_{e in E} (p[e] - phat[e])`` (the global term
       feeding the cut rules, Eq. 13-16),
     - ``selected`` — boolean membership of each edge in ``E'``.
+
+    Incidence is stored in CSR form — ``inc_indptr`` (``n + 1``) and
+    ``inc_eids`` (``2 m``, ascending edge ids per vertex) — so the sweep
+    and scan engines slice a vertex's incident edges as one contiguous
+    array view instead of walking ``list[list[int]]``.
 
     The class is deliberately unaware of *which* rule updates
     probabilities; GDB / EMD drive it.
@@ -153,12 +158,25 @@ class SparsificationState:
         self.original_degrees = original.expected_degree_array()
         self.delta = self.original_degrees.copy()
         self.total_residual = float(self.p_original.sum())
-        # Incidence: vertex id -> list of edge ids, built once.
-        self.incident: list[list[int]] = [[] for _ in range(self.n)]
-        for eid in range(self.m):
-            u, v = self.edge_vertices[eid]
-            self.incident[int(u)].append(eid)
-            self.incident[int(v)].append(eid)
+        # CSR incidence, built once with array ops: a stable argsort of
+        # the flattened endpoint column groups entries by vertex, and
+        # within a vertex ascending flat index means ascending edge id
+        # (flat position 2*eid / 2*eid + 1).
+        flat = self.edge_vertices.reshape(-1)
+        order = np.argsort(flat, kind="stable")
+        self.inc_eids = order // 2
+        self.inc_eids.setflags(write=False)
+        counts = np.bincount(flat, minlength=self.n)
+        self.inc_indptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.inc_indptr[1:])
+        self.inc_indptr.setflags(write=False)
+
+    def incident_edges(self, vertex: int) -> np.ndarray:
+        """Ids of all original edges incident to dense vertex ``vertex``.
+
+        A read-only CSR slice, in ascending edge-id order.
+        """
+        return self.inc_eids[self.inc_indptr[vertex]:self.inc_indptr[vertex + 1]]
 
     # -- membership -----------------------------------------------------
     def select_edge(self, eid: int, probability: float | None = None) -> None:
@@ -198,6 +216,82 @@ class SparsificationState:
         self.delta[v] -= change
         self.total_residual -= change
         self.phat[eid] = new_p
+
+    # -- batched membership / probability updates --------------------------
+    def select_edges(self, eids: np.ndarray,
+                     probabilities: "np.ndarray | None" = None) -> None:
+        """Put a batch of distinct edges into the sparsified set at once.
+
+        Vectorised counterpart of looping :meth:`select_edge`; defaults
+        to the original probabilities (the backbone seed of
+        Algorithms 2 / 3).
+        """
+        eids = np.asarray(eids, dtype=np.int64)
+        if np.any(self.selected[eids]):
+            raise GraphError("edge already selected in batch select")
+        if len(np.unique(eids)) != len(eids):
+            raise GraphError("duplicate edge ids in batch select")
+        new_ps = (
+            self.p_original[eids] if probabilities is None
+            else np.asarray(probabilities, dtype=np.float64)
+        )
+        if new_ps.shape != eids.shape:
+            raise GraphError(
+                f"probabilities shape {new_ps.shape} does not match "
+                f"eids shape {eids.shape}"
+            )
+        self.selected[eids] = True
+        self._scatter_probabilities(eids, new_ps)
+
+    def apply_probabilities(self, eids: np.ndarray, new_ps: np.ndarray) -> None:
+        """Batched probability update for *distinct* selected edges.
+
+        Delta bookkeeping is scattered with unbuffered ``np.subtract.at``
+        so edges sharing an endpoint accumulate correctly; the global
+        residual absorbs the summed change.  This is the batched
+        primitive for drivers and callers (grid seeding, tests); the
+        color-blocked sweep inlines the same scatter without the
+        validation, using the plan's guarantee that a color class has
+        unique, selected edges with unique endpoints.
+        """
+        eids = np.asarray(eids, dtype=np.int64)
+        new_ps = np.asarray(new_ps, dtype=np.float64)
+        if new_ps.shape != eids.shape:
+            raise GraphError(
+                f"probabilities shape {new_ps.shape} does not match "
+                f"eids shape {eids.shape}"
+            )
+        if not np.all(self.selected[eids]):
+            raise GraphError("apply_probabilities on an unselected edge")
+        if len(np.unique(eids)) != len(eids):
+            raise GraphError("duplicate edge ids in apply_probabilities")
+        self._scatter_probabilities(eids, new_ps)
+
+    def _scatter_probabilities(self, eids: np.ndarray, new_ps: np.ndarray) -> None:
+        """Unchecked batched update (callers have validated ``eids``)."""
+        changes = new_ps - self.phat[eids]
+        np.subtract.at(self.delta, self.edge_vertices[eids, 0], changes)
+        np.subtract.at(self.delta, self.edge_vertices[eids, 1], changes)
+        self.total_residual -= float(changes.sum())
+        self.phat[eids] = new_ps
+
+    # -- snapshots (grid sweeps re-anneal from a shared seed state) --------
+    def snapshot(self) -> tuple:
+        """O(m + n) copy of the mutable state (see :meth:`restore`)."""
+        return (
+            self.phat.copy(),
+            self.selected.copy(),
+            self.delta.copy(),
+            self.total_residual,
+        )
+
+    def restore(self, snap: tuple) -> None:
+        """Restore a :meth:`snapshot`; the grid driver's reset-per-cell."""
+        phat, selected, delta, total_residual = snap
+        self.phat[:] = phat
+        self.selected[:] = selected
+        self.delta[:] = delta
+        self.total_residual = total_residual
 
     # -- views ------------------------------------------------------------
     def selected_edge_ids(self) -> np.ndarray:
@@ -253,22 +347,26 @@ class SparsificationState:
         ``|E'| = alpha |E|`` is verifiable on the output; callers that
         prefer dropping them can prune afterwards.
         """
-        edge_list = self.graph.edge_list()
-        out = UncertainGraph(vertices=self.graph.vertices(), name=name)
-        floor = 1e-9
-        for eid in np.flatnonzero(self.selected):
-            u, v = edge_list[eid]
-            out.add_edge(u, v, max(float(self.phat[eid]), floor))
-        return out
+        eids = np.flatnonzero(self.selected)
+        return UncertainGraph.from_edge_arrays(
+            self.graph.vertices(),
+            self.edge_vertices[eids],
+            np.maximum(self.phat[eids], 1e-9),
+            name=name,
+        )
 
     # -- invariant check (tests) -------------------------------------------
     def verify(self, tol: float = 1e-8) -> None:
-        """Recompute delta / residual from scratch and compare (slow)."""
+        """Recompute delta / residual from scratch and compare.
+
+        The scratch recompute is two ``np.add.at`` scatters instead of a
+        per-edge Python loop, so property tests can afford to call it on
+        every hypothesis example.
+        """
+        eids = np.flatnonzero(self.selected)
         degrees = np.zeros(self.n, dtype=np.float64)
-        for eid in np.flatnonzero(self.selected):
-            u, v = self.edge_vertices[eid]
-            degrees[u] += self.phat[eid]
-            degrees[v] += self.phat[eid]
+        np.add.at(degrees, self.edge_vertices[eids, 0], self.phat[eids])
+        np.add.at(degrees, self.edge_vertices[eids, 1], self.phat[eids])
         expected_delta = self.original_degrees - degrees
         if not np.allclose(expected_delta, self.delta, atol=tol):
             raise AssertionError("delta bookkeeping diverged")

@@ -15,6 +15,15 @@ EMD alternates two phases until the degree objective
 
 The heap makes each E-phase ``O(alpha |E| log |V|)`` (section 4.3's
 complexity argument): an edge update touches exactly two vertices.
+
+Two engines execute the E-phase candidate scan: ``engine="loop"`` walks
+the candidates one scalar ``_best_probability`` / ``_gain`` pair at a
+time (the reference), while ``engine="vector"`` (default) scores every
+non-selected edge incident to the max-discrepancy vertex in one array
+computation — same candidate order, same tie-breaking, bit-identical
+selections.  The vector engine's M-phase runs GDB's fused sequential
+sweep (same edge order and arithmetic as the reference loop), so the
+whole of vector EMD reproduces loop EMD exactly, only faster.
 """
 
 from __future__ import annotations
@@ -25,9 +34,14 @@ import numpy as np
 
 from repro.core.backbone import build_backbone
 from repro.core.discrepancy import SparsificationState
-from repro.core.entropy import edge_entropy
-from repro.core.gdb import GDBConfig, gdb_refine
-from repro.core.rules import degree_step_absolute, degree_step_relative
+from repro.core.gdb import GDBConfig, _validate_engine, gdb_refine
+from repro.core.sweep import clamp_and_attenuate
+from repro.core.rules import (
+    degree_step_absolute,
+    degree_step_absolute_array,
+    degree_step_relative,
+    degree_step_relative_array,
+)
 from repro.core.uncertain_graph import UncertainGraph
 from repro.utils.heap import IndexedMaxHeap
 
@@ -76,7 +90,9 @@ def _best_probability(state: SparsificationState, eid: int, h: float,
     if proposed > 1.0:
         return 1.0
     original = float(state.p_original[eid])
-    if edge_entropy(proposed) > edge_entropy(original):
+    # Closed form of edge_entropy(proposed) > edge_entropy(original):
+    # binary entropy is strictly decreasing in |p - 0.5|.
+    if abs(proposed - 0.5) < abs(original - 0.5):
         return min(max(original + h * step, 0.0), 1.0)
     return proposed
 
@@ -109,15 +125,15 @@ def _e_phase(state: SparsificationState, heap: IndexedMaxHeap,
         heap.update(v, abs(float(state.delta[v])))
 
         top_vertex, _ = heap.peek()
-        # Candidates: every unselected original edge at the top vertex,
-        # plus the just-removed edge itself (line 17's arg max includes e).
+        # Candidates: every unselected original edge at the top vertex.
+        # Line 17's arg max also includes the just-removed edge e, but
+        # that is scored separately below (as the incumbent), so it is
+        # skipped here.
+        incident = state.incident_edges(top_vertex)
         candidates = [
-            candidate
-            for candidate in state.incident[top_vertex]
-            if not state.selected[candidate]
+            int(candidate)
+            for candidate in incident[~state.selected[incident]]
         ]
-        if eid not in candidates:
-            candidates.append(eid)
 
         # The removed edge competes both at its rule-optimal probability
         # and at the probability it already had (the entropy guard can
@@ -146,6 +162,71 @@ def _e_phase(state: SparsificationState, heap: IndexedMaxHeap,
     return swaps
 
 
+def _e_phase_vector(state: SparsificationState, heap: IndexedMaxHeap,
+                    config: EMDConfig) -> int:
+    """Edge swapping with the candidate scan as one array computation.
+
+    For each removed edge, every unselected candidate at the
+    max-discrepancy vertex is scored in a single gather: rule step,
+    clamp, entropy guard against the original probability (Eq. 9) and
+    gain (Eq. 10) are elementwise mirrors of the scalar helpers, and
+    ``argmax`` returns the *first* maximal gain — exactly the reference
+    loop's strict-improvement tie-breaking.  Selections are therefore
+    identical to :func:`_e_phase`, swap for swap.
+    """
+    array_rule = (
+        degree_step_relative_array if config.relative else degree_step_absolute_array
+    )
+    edge_vertices = state.edge_vertices
+    delta = state.delta
+    swaps = 0
+    for eid in [int(e) for e in state.selected_edge_ids()]:
+        u, v = state.endpoints(eid)
+        previous_p = state.deselect_edge(eid)
+        heap.update(u, abs(float(delta[u])))
+        heap.update(v, abs(float(delta[v])))
+
+        top_vertex, _ = heap.peek()
+        incident = state.incident_edges(top_vertex)
+        candidates = incident[~state.selected[incident]]
+        candidates = candidates[candidates != eid]
+
+        # The removed edge competes both at its rule-optimal probability
+        # and at the probability it already had.
+        best_eid = eid
+        best_p = _best_probability(state, eid, config.h, config.relative)
+        best_gain = _gain(state, eid, best_p)
+        keep_gain = _gain(state, eid, previous_p)
+        if keep_gain > best_gain:
+            best_gain, best_p = keep_gain, previous_p
+
+        if len(candidates):
+            current = state.phat[candidates]  # zeros: all unselected
+            steps = array_rule(state, candidates)
+            # Eq. 9's guard measures against the *original* probability
+            # (see _best_probability).
+            probs = clamp_and_attenuate(
+                current, steps, state.p_original[candidates], config.h
+            )
+            uv = edge_vertices[candidates]
+            du = delta[uv[:, 0]]
+            dv = delta[uv[:, 1]]
+            gains = du * du - (du - probs) ** 2 + dv * dv - (dv - probs) ** 2
+            top = int(np.argmax(gains))
+            if float(gains[top]) > best_gain:
+                best_gain = float(gains[top])
+                best_eid = int(candidates[top])
+                best_p = float(probs[top])
+
+        if best_eid != eid:
+            swaps += 1
+        state.select_edge(best_eid, probability=best_p)
+        bu, bv = state.endpoints(best_eid)
+        heap.update(bu, abs(float(delta[bu])))
+        heap.update(bv, abs(float(delta[bv])))
+    return swaps
+
+
 def emd(
     graph: UncertainGraph,
     alpha: float | None = None,
@@ -154,12 +235,17 @@ def emd(
     backbone_method: str = "bgi",
     rng: "int | np.random.Generator | None" = None,
     name: str = "",
+    engine: str = "vector",
 ) -> UncertainGraph:
     """Sparsify ``graph`` with Expectation-Maximization Degree (Algorithm 3).
 
     Arguments mirror :func:`repro.core.gdb.gdb`; EMD additionally mutates
     the backbone's *edge set* during its E-phases, so it is less
     sensitive to the initial backbone than GDB (section 4.3).
+
+    ``engine="vector"`` (default) vectorises the E-phase candidate scan
+    and runs the M-phase on the fused sequential sweep; the result is
+    bit-identical to ``engine="loop"`` (the scalar reference).
 
     Returns
     -------
@@ -168,6 +254,7 @@ def emd(
     """
     if (alpha is None) == (backbone_ids is None):
         raise ValueError("provide exactly one of alpha or backbone_ids")
+    engine = _validate_engine(engine)
     config = config or EMDConfig()
     if backbone_ids is None:
         backbone_ids = build_backbone(graph, alpha, method=backbone_method, rng=rng)
@@ -175,6 +262,14 @@ def emd(
     state = SparsificationState(graph)
     for eid in backbone_ids:
         state.select_edge(eid)
+
+    e_phase = _e_phase if engine == "loop" else _e_phase_vector
+    # The M-phase of the vector engine is the fused sequential sweep:
+    # same edge order and arithmetic as the loop engine (the colored
+    # sweep would converge to the same objective but along a different
+    # trajectory, and E-phase swaps are discrete decisions we keep
+    # engine-invariant).
+    m_engine = "loop" if engine == "loop" else "fused"
 
     gdb_config = GDBConfig(
         h=config.h,
@@ -193,14 +288,14 @@ def emd(
         heap = IndexedMaxHeap(
             {v: abs(float(state.delta[v])) for v in range(state.n)}
         )
-        swaps = _e_phase(state, heap, config)  # E-phase: swap edges
-        gdb_refine(state, gdb_config)          # M-phase: re-optimise probabilities
+        swaps = e_phase(state, heap, config)   # E-phase: swap edges
+        gdb_refine(state, gdb_config, engine=m_engine)  # M-phase: re-optimise
         new_objective = state.d1(relative=config.relative)
         converged = abs(objective - new_objective) <= config.tau
         objective = new_objective
         if swaps == 0 or converged:
             # Structure stabilised: finish with a fully-converged M-phase.
-            gdb_refine(state, final_gdb_config)
+            gdb_refine(state, final_gdb_config, engine=m_engine)
             break
 
     label = name or f"emd[{'R' if config.relative else 'A'}]({graph.name})"

@@ -40,6 +40,19 @@ def entropy_array(probabilities: np.ndarray) -> np.ndarray:
     return out
 
 
+def entropy_increases(current, proposed):
+    """Whether moving an edge from ``current`` to ``proposed`` raises entropy.
+
+    Exact closed form of ``edge_entropy(proposed) > edge_entropy(current)``:
+    binary entropy is strictly decreasing in the distance from ``0.5``,
+    so ``H(p') > H(p)  <=>  |p' - 0.5| < |p - 0.5|``.  Works on scalars
+    and arrays alike, and — unlike the log-based comparison — costs no
+    transcendental calls, which is what makes the sweep engines' guard
+    vectorisable (GDB Algorithm 2 line 10, EMD Eq. 9).
+    """
+    return np.abs(np.asarray(proposed) - 0.5) < np.abs(np.asarray(current) - 0.5)
+
+
 def graph_entropy(graph: UncertainGraph) -> float:
     """Total entropy ``H(G)`` in bits."""
     return float(entropy_array(graph.probability_array()).sum())

@@ -13,6 +13,15 @@ is attenuated by the entropy parameter ``h in [0, 1]`` (Algorithm 2,
 line 10).  Sweeps repeat until the objective improves by less than
 ``tau``.
 
+Two sweep engines execute the descent (see :mod:`repro.core.sweep`):
+
+- ``engine="loop"`` — the scalar reference: one rule call and one state
+  update per edge, in edge-id order.
+- ``engine="vector"`` (default) — the array-native engine: color-blocked
+  vectorised sweeps for the endpoint-local ``k = 1`` rules, and the
+  fused sequential fast path (bit-identical to the reference loop) for
+  the globally-coupled ``k >= 2`` / ``k = "n"`` rules.
+
 The public entry point is :func:`gdb`; :func:`gdb_refine` runs the same
 loop in place on an existing :class:`SparsificationState` (EMD's M-phase
 reuses it).
@@ -26,9 +35,36 @@ import numpy as np
 
 from repro.core.backbone import build_backbone
 from repro.core.discrepancy import SparsificationState
-from repro.core.entropy import edge_entropy
-from repro.core.rules import make_rule
+from repro.core.rules import make_array_rule, make_rule
+from repro.core.sweep import (
+    SweepPlan,
+    apply_scalar_step,
+    build_sweep_plan,
+    colored_sweep,
+    fused_sweep,
+)
 from repro.core.uncertain_graph import UncertainGraph
+
+#: Public engines of the gdb/emd/sparsify facades; "fused" (the
+#: sequential fast path, same order and arithmetic as "loop") is an
+#: additional gdb_refine-only value used by EMD's M-phase.
+PUBLIC_ENGINES = ("vector", "loop")
+ENGINES = PUBLIC_ENGINES + ("fused",)
+
+
+def _validate_engine(engine: str, allowed: tuple = PUBLIC_ENGINES) -> str:
+    if engine not in allowed:
+        raise ValueError(
+            f"unknown sweep engine {engine!r}; expected one of {allowed}"
+        )
+    return engine
+
+
+def _colored_eligible(engine: str, k: "int | str", n: int) -> bool:
+    """Whether the color-blocked sweep applies: only the endpoint-local
+    ``k = 1`` rules under the vector engine (shared with the grid
+    driver so both build the same plan flavour)."""
+    return engine == "vector" and isinstance(k, int) and k == 1 and n > k
 
 
 @dataclass(frozen=True)
@@ -69,37 +105,64 @@ class GDBConfig:
             raise ValueError(f"max_sweeps must be positive, got {self.max_sweeps}")
 
 
-def _apply_step(state: SparsificationState, eid: int, step: float, h: float) -> None:
-    """Clamp-and-attenuate probability update (Algorithm 2, lines 7-10)."""
-    current = float(state.phat[eid])
-    proposed = current + step
-    if proposed < 0.0:
-        new_p = 0.0
-    elif proposed > 1.0:
-        new_p = 1.0
-    elif edge_entropy(proposed) > edge_entropy(current):
-        new_p = min(max(current + h * step, 0.0), 1.0)
-    else:
-        new_p = proposed
-    if new_p != current:
-        state.set_probability(eid, new_p)
-
-
-def gdb_refine(state: SparsificationState, config: GDBConfig) -> int:
+def gdb_refine(
+    state: SparsificationState,
+    config: GDBConfig,
+    engine: str = "vector",
+    plan: "SweepPlan | None" = None,
+) -> int:
     """Run GDB sweeps in place on ``state``; returns the sweep count.
 
     ``state`` must already have its backbone edges selected.  Only the
     probabilities of selected edges change; membership is untouched
     (that is EMD's job).
+
+    Parameters
+    ----------
+    engine:
+        ``"vector"`` (default) — color-blocked array sweeps for ``k = 1``
+        and the fused sequential fast path otherwise; ``"loop"`` — the
+        scalar reference implementation; ``"fused"`` — force the fused
+        sequential path (what EMD's M-phase uses: same edge order and
+        bit-identical arithmetic as ``"loop"``).
+    plan:
+        Optional precomputed :class:`SweepPlan` for the currently
+        selected edge set (the grid driver reuses one plan across an
+        entire ``h`` sweep).  Ignored by the ``"loop"`` engine.
     """
+    engine = _validate_engine(engine, allowed=ENGINES)
+    # Constructing the scalar rule also validates the (k, relative)
+    # combination for every engine.
     rule = make_rule(config.k, config.relative, state.n)
-    edge_ids = [int(e) for e in state.selected_edge_ids()]
     objective = state.d1(relative=config.relative)
     sweeps = 0
+
+    if engine == "loop":
+        edge_ids = [int(e) for e in state.selected_edge_ids()]
+        for sweeps in range(1, config.max_sweeps + 1):
+            for eid in edge_ids:
+                step = rule(state, eid)
+                apply_scalar_step(state, eid, step, config.h)
+            new_objective = state.d1(relative=config.relative)
+            if abs(objective - new_objective) <= config.tau:
+                objective = new_objective
+                break
+            objective = new_objective
+        return sweeps
+
+    colored = _colored_eligible(engine, config.k, state.n)
+    if plan is None:
+        plan = build_sweep_plan(state, sequential_only=not colored)
+    elif colored and plan.n_colors == 0 and len(plan.eids):
+        # A sequential-only plan can't drive color blocks; re-plan.
+        plan = build_sweep_plan(state)
+    array_rule = make_array_rule(config.k, config.relative, state.n) if colored else None
+
     for sweeps in range(1, config.max_sweeps + 1):
-        for eid in edge_ids:
-            step = rule(state, eid)
-            _apply_step(state, eid, step, config.h)
+        if colored:
+            colored_sweep(state, plan, array_rule, rule, config.h)
+        else:
+            fused_sweep(state, plan, config.k, config.relative, config.h)
         new_objective = state.d1(relative=config.relative)
         if abs(objective - new_objective) <= config.tau:
             objective = new_objective
@@ -116,6 +179,7 @@ def gdb(
     backbone_method: str = "bgi",
     rng: "int | np.random.Generator | None" = None,
     name: str = "",
+    engine: str = "vector",
 ) -> UncertainGraph:
     """Sparsify ``graph`` with Gradient Descent Backbone (Algorithm 2).
 
@@ -140,6 +204,9 @@ def gdb(
         Seed / generator for backbone construction.
     name:
         Name for the returned graph.
+    engine:
+        Sweep engine, ``"vector"`` (default) or ``"loop"`` (see
+        :func:`gdb_refine`).
 
     Returns
     -------
@@ -148,12 +215,13 @@ def gdb(
     """
     if (alpha is None) == (backbone_ids is None):
         raise ValueError("provide exactly one of alpha or backbone_ids")
+    engine = _validate_engine(engine)
     config = config or GDBConfig()
     if backbone_ids is None:
         backbone_ids = build_backbone(graph, alpha, method=backbone_method, rng=rng)
     state = SparsificationState(graph)
     for eid in backbone_ids:
         state.select_edge(eid)
-    gdb_refine(state, config)
+    gdb_refine(state, config, engine=engine)
     label = name or f"gdb[{'R' if config.relative else 'A'},k={config.k}]({graph.name})"
     return state.build_graph(name=label)

@@ -33,7 +33,7 @@ import numpy as np
 
 from repro.core.backbone import build_backbone, target_edge_count
 from repro.core.emd_sparsifier import EMDConfig, emd
-from repro.core.gdb import GDBConfig, gdb
+from repro.core.gdb import GDBConfig, _validate_engine, gdb
 from repro.core.lp import lp_sparsify
 from repro.core.uncertain_graph import UncertainGraph
 
@@ -98,6 +98,7 @@ def sparsify(
     h: float = 0.05,
     tau: float = 1e-9,
     name: str = "",
+    engine: str = "vector",
 ) -> UncertainGraph:
     """Sparsify an uncertain graph with any paper variant.
 
@@ -120,12 +121,17 @@ def sparsify(
         Convergence threshold for GDB/EMD.
     name:
         Optional name for the output graph.
+    engine:
+        Sweep/scan engine for GDB/EMD: ``"vector"`` (default, the
+        array-native engine) or ``"loop"`` (the scalar reference).  The
+        LP and benchmark methods have no iterative core and ignore it.
 
     Returns
     -------
     UncertainGraph
         The sparsified graph ``G' = (V, E', p')``.
     """
+    _validate_engine(engine)
     spec = parse_variant(variant)
     backbone_method = "bgi" if spec.bgi_backbone else "random"
     label = name or f"{spec.canonical_name}@{alpha:g}({graph.name})"
@@ -133,13 +139,15 @@ def sparsify(
     if spec.method == "gdb":
         config = GDBConfig(h=h, tau=tau, k=spec.k, relative=spec.relative)
         return gdb(graph, alpha=alpha, config=config,
-                   backbone_method=backbone_method, rng=rng, name=label)
+                   backbone_method=backbone_method, rng=rng, name=label,
+                   engine=engine)
     if spec.method == "emd":
         if spec.k != 1:
             raise ValueError("EMD is defined for k = 1 only (paper section 5)")
         config = EMDConfig(h=h, tau=tau, relative=spec.relative)
         return emd(graph, alpha=alpha, config=config,
-                   backbone_method=backbone_method, rng=rng, name=label)
+                   backbone_method=backbone_method, rng=rng, name=label,
+                   engine=engine)
     if spec.method == "lp":
         return lp_sparsify(graph, alpha=alpha,
                            backbone_method=backbone_method, rng=rng, name=label)

@@ -375,6 +375,100 @@ class UncertainGraph:
         return g
 
     @classmethod
+    def from_edge_arrays(
+        cls,
+        vertices: Iterable[Vertex],
+        endpoints: np.ndarray,
+        probabilities: np.ndarray,
+        name: str = "",
+    ) -> "UncertainGraph":
+        """Bulk constructor from dense-id edge arrays.
+
+        Builds the graph in one pass from the array layout the vectorised
+        algorithms already hold (``SparsificationState.build_graph``, the
+        samplers' edge views), validating everything with array ops
+        instead of per-edge calls.  When the input rows are already in
+        the canonical edge order — each row ``(u, v)`` with ``u < v`` as
+        dense ids, sorted by ``u`` — the cached edge views
+        (:meth:`edge_list` / :meth:`probability_array` /
+        :meth:`edge_index_array`) are pre-seeded so the first consumer
+        pays nothing; that is exactly the order
+        ``SparsificationState.build_graph`` supplies.  Other input
+        orders are accepted but the views are built lazily in canonical
+        order, so edge ids stay stable across later cache
+        invalidations (a pre-seeded non-canonical order would silently
+        renumber edges on the first mutation).
+
+        Parameters
+        ----------
+        vertices:
+            Full vertex set in the order that defines the dense ids
+            (duplicates are rejected).
+        endpoints:
+            ``(m, 2)`` integer array of dense vertex ids; no self-loops,
+            no duplicate undirected edges.
+        probabilities:
+            ``(m,)`` array of edge probabilities in ``(0, 1]``.
+        name:
+            Optional label for the new graph.
+        """
+        vertex_list = list(vertices)
+        n = len(vertex_list)
+        endpoints = np.asarray(endpoints, dtype=np.int64).reshape(-1, 2)
+        probabilities = np.asarray(probabilities, dtype=np.float64).reshape(-1)
+        m = len(probabilities)
+        if len(endpoints) != m:
+            raise GraphError(
+                f"endpoints/probabilities length mismatch: {len(endpoints)} vs {m}"
+            )
+        if m:
+            if endpoints.min() < 0 or endpoints.max() >= n:
+                raise GraphError("endpoint id outside the vertex range")
+            if np.any(endpoints[:, 0] == endpoints[:, 1]):
+                raise GraphError("self-loops are not allowed")
+            lo = float(probabilities.min())
+            if not (lo > 0.0 and float(probabilities.max()) <= 1.0):
+                raise ProbabilityError(
+                    "edge probabilities must be in (0, 1]"
+                )
+            canonical = np.sort(endpoints, axis=1)
+            if len(np.unique(canonical, axis=0)) != m:
+                raise GraphError("duplicate undirected edges in edge arrays")
+
+        out = cls(name=name)
+        adj = out._adj
+        for v in vertex_list:
+            adj[v] = {}
+        if len(adj) != n:
+            raise GraphError("duplicate vertices in vertex list")
+
+        edge_list: list[Edge] = []
+        for (ui, vi), p in zip(endpoints.tolist(), probabilities.tolist()):
+            u = vertex_list[ui]
+            v = vertex_list[vi]
+            adj[u][v] = p
+            adj[v][u] = p
+            edge_list.append((u, v))
+
+        # Pre-seed the cached views only when the input order is the
+        # order :meth:`edges` would reproduce from the adjacency
+        # (rows ``u < v`` sorted by ``u``): then a later cache rebuild
+        # yields identical edge ids.  Non-canonical orders leave the
+        # caches lazy instead of pinning an order that the first
+        # mutation would silently renumber.
+        canonical_order = m == 0 or (
+            bool(np.all(endpoints[:, 0] < endpoints[:, 1]))
+            and bool(np.all(np.diff(endpoints[:, 0]) >= 0))
+        )
+        if canonical_order:
+            out._edge_cache = (edge_list, probabilities.copy())
+            out._indexer_cache = {v: i for i, v in enumerate(vertex_list)}
+            index_cache = endpoints.copy()
+            index_cache.setflags(write=False)
+            out._edge_index_cache = index_cache
+        return out
+
+    @classmethod
     def from_networkx(cls, graph: Any, probability_attr: str = "probability") -> "UncertainGraph":
         """Build from a networkx graph carrying a probability edge attribute."""
         out = cls(name=str(graph.name) if getattr(graph, "name", "") else "")

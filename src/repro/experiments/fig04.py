@@ -24,6 +24,7 @@ def run_fig04a(
     scale: ExperimentScale = SMALL,
     variants: tuple[str, ...] = FIG4A_VARIANTS,
     seed: int = 17,
+    engine: str = "vector",
 ) -> ResultTable:
     """MAE of ``delta_A(S)`` over sampled k-cuts vs alpha (Fig. 4a)."""
     graph = make_flickr_reduced(scale, seed=seed)
@@ -37,7 +38,9 @@ def run_fig04a(
     for variant in variants:
         row: list = [variant]
         for alpha in scale.alphas:
-            sparsified = sparsify(graph, alpha, variant=variant, rng=seed)
+            sparsified = sparsify(
+                graph, alpha, variant=variant, rng=seed, engine=engine
+            )
             row.append(
                 sampled_cut_discrepancy_mae(graph, sparsified, cut_sets=cut_sets)
             )
@@ -48,6 +51,7 @@ def run_fig04a(
 def run_fig04b(
     scale: ExperimentScale = SMALL,
     seed: int = 17,
+    engine: str = "vector",
 ) -> ResultTable:
     """Wall-clock seconds of LP vs GDB vs EMD vs alpha (Fig. 4b)."""
     graph = make_flickr_reduced(scale, seed=seed)
@@ -59,7 +63,9 @@ def run_fig04b(
     for variant in ("LP-t", "GDB^A-t", "EMD^A-t"):
         row: list = [variant]
         for alpha in scale.alphas:
-            _, seconds = timed(sparsify, graph, alpha, variant=variant, rng=seed)
+            _, seconds = timed(
+                sparsify, graph, alpha, variant=variant, rng=seed, engine=engine
+            )
             row.append(seconds)
         table.rows.append(row)
     return table

@@ -34,6 +34,7 @@ def structural_comparison(
     scale: ExperimentScale,
     methods: tuple[str, ...] = COMPARISON_METHODS,
     seed: int = 23,
+    engine: str = "vector",
 ) -> tuple[ResultTable, ResultTable]:
     """Degree-MAE and cut-MAE tables (method x alpha) for one dataset."""
     n = graph.number_of_vertices()
@@ -50,7 +51,9 @@ def structural_comparison(
         degree_row: list = [method]
         cut_row: list = [method]
         for alpha in scale.alphas:
-            sparsified = sparsify(graph, alpha, variant=method, rng=seed)
+            sparsified = sparsify(
+                graph, alpha, variant=method, rng=seed, engine=engine
+            )
             degree_row.append(degree_discrepancy_mae(graph, sparsified))
             cut_row.append(
                 sampled_cut_discrepancy_mae(graph, sparsified, cut_sets=cut_sets)
@@ -63,11 +66,16 @@ def structural_comparison(
 def run_fig06(
     scale: ExperimentScale = SMALL,
     seed: int = 23,
+    engine: str = "vector",
 ) -> dict[str, tuple[ResultTable, ResultTable]]:
     """Both datasets' structural comparisons, keyed by dataset name."""
     return {
-        "flickr": structural_comparison(make_flickr_proxy(scale), scale, seed=seed),
-        "twitter": structural_comparison(make_twitter_proxy(scale), scale, seed=seed),
+        "flickr": structural_comparison(
+            make_flickr_proxy(scale), scale, seed=seed, engine=engine
+        ),
+        "twitter": structural_comparison(
+            make_twitter_proxy(scale), scale, seed=seed, engine=engine
+        ),
     }
 
 

@@ -34,6 +34,7 @@ def run_fig07(
     scale: ExperimentScale = SMALL,
     alpha: float = 0.16,
     seed: int = 29,
+    engine: str = "vector",
 ) -> tuple[ResultTable, ResultTable]:
     """Degree-MAE and cut-MAE vs density at fixed alpha (Fig. 7)."""
     graphs = make_density_sweep(scale, seed=seed)
@@ -56,7 +57,9 @@ def run_fig07(
         degree_row: list = [method]
         cut_row: list = [method]
         for density, graph in graphs.items():
-            sparsified = sparsify(graph, alpha, variant=method, rng=seed)
+            sparsified = sparsify(
+                graph, alpha, variant=method, rng=seed, engine=engine
+            )
             degree_row.append(degree_discrepancy_mae(graph, sparsified))
             cut_row.append(
                 sampled_cut_discrepancy_mae(

@@ -24,7 +24,8 @@ from repro.metrics import relative_entropy
 
 
 def entropy_vs_alpha(
-    graph: UncertainGraph, scale: ExperimentScale, seed: int = 31
+    graph: UncertainGraph, scale: ExperimentScale, seed: int = 31,
+    engine: str = "vector",
 ) -> ResultTable:
     """Relative entropy per method per alpha for one dataset."""
     table = ResultTable(
@@ -34,14 +35,17 @@ def entropy_vs_alpha(
     for method in COMPARISON_METHODS:
         row: list = [method]
         for alpha in scale.alphas:
-            sparsified = sparsify(graph, alpha, variant=method, rng=seed)
+            sparsified = sparsify(
+                graph, alpha, variant=method, rng=seed, engine=engine
+            )
             row.append(relative_entropy(sparsified, graph))
         table.rows.append(row)
     return table
 
 
 def entropy_vs_density(
-    scale: ExperimentScale, alpha: float = 0.16, seed: int = 31
+    scale: ExperimentScale, alpha: float = 0.16, seed: int = 31,
+    engine: str = "vector",
 ) -> ResultTable:
     """Relative entropy per method per density (Fig. 8c)."""
     graphs = make_density_sweep(scale, seed=seed)
@@ -53,20 +57,26 @@ def entropy_vs_density(
     for method in COMPARISON_METHODS:
         row: list = [method]
         for graph in graphs.values():
-            sparsified = sparsify(graph, alpha, variant=method, rng=seed)
+            sparsified = sparsify(
+                graph, alpha, variant=method, rng=seed, engine=engine
+            )
             row.append(relative_entropy(sparsified, graph))
         table.rows.append(row)
     return table
 
 
 def run_fig08(
-    scale: ExperimentScale = SMALL, seed: int = 31
+    scale: ExperimentScale = SMALL, seed: int = 31, engine: str = "vector",
 ) -> dict[str, ResultTable]:
     """All three panels keyed 'flickr' / 'twitter' / 'density'."""
     return {
-        "flickr": entropy_vs_alpha(make_flickr_proxy(scale), scale, seed=seed),
-        "twitter": entropy_vs_alpha(make_twitter_proxy(scale), scale, seed=seed),
-        "density": entropy_vs_density(scale, seed=seed),
+        "flickr": entropy_vs_alpha(
+            make_flickr_proxy(scale), scale, seed=seed, engine=engine
+        ),
+        "twitter": entropy_vs_alpha(
+            make_twitter_proxy(scale), scale, seed=seed, engine=engine
+        ),
+        "density": entropy_vs_density(scale, seed=seed, engine=engine),
     }
 
 

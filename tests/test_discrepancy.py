@@ -234,4 +234,179 @@ def test_property_state_invariants_after_random_ops(seed):
                 state.set_probability(eid, float(rng.uniform(0, 1)))
         else:
             state.select_edge(eid, probability=float(rng.uniform(0, 1)))
+        # The vectorised verify is cheap enough to run on every step of
+        # every example.
+        state.verify()
+
+
+class TestCSRIncidence:
+    def test_matches_bruteforce_incidence(self, small_power_law):
+        state = SparsificationState(small_power_law)
+        brute: dict[int, list[int]] = {v: [] for v in range(state.n)}
+        for eid in range(state.m):
+            u, v = state.endpoints(eid)
+            brute[u].append(eid)
+            brute[v].append(eid)
+        for vertex in range(state.n):
+            got = state.incident_edges(vertex).tolist()
+            assert got == brute[vertex]  # ascending edge ids per vertex
+
+    def test_indptr_shape_and_total(self, triangle):
+        state = SparsificationState(triangle)
+        assert len(state.inc_indptr) == state.n + 1
+        assert state.inc_indptr[-1] == 2 * state.m
+        assert len(state.inc_eids) == 2 * state.m
+
+    def test_incidence_is_read_only(self, triangle):
+        state = SparsificationState(triangle)
+        with pytest.raises(ValueError):
+            state.inc_eids[0] = 99
+
+
+class TestBatchedPrimitives:
+    def test_select_edges_matches_scalar_selects(self, small_power_law):
+        batched = SparsificationState(small_power_law)
+        scalar = SparsificationState(small_power_law)
+        rng = np.random.default_rng(0)
+        eids = rng.choice(batched.m, size=batched.m // 3, replace=False)
+        batched.select_edges(eids)
+        for eid in eids:
+            scalar.select_edge(int(eid))
+        assert np.array_equal(batched.selected, scalar.selected)
+        assert np.allclose(batched.phat, scalar.phat, atol=0)
+        assert np.allclose(batched.delta, scalar.delta, atol=1e-12)
+        batched.verify()
+
+    def test_select_edges_with_probabilities(self, triangle):
+        state = SparsificationState(triangle)
+        state.select_edges(np.array([0, 2]), probabilities=np.array([0.25, 0.75]))
+        assert state.phat[0] == 0.25 and state.phat[2] == 0.75
+        assert not state.selected[1]
+        state.verify()
+
+    def test_select_edges_rejects_shape_mismatch(self, triangle):
+        state = SparsificationState(triangle)
+        with pytest.raises(GraphError):
+            state.select_edges(np.array([0, 1, 2]), probabilities=np.array([0.4]))
+
+    def test_apply_probabilities_rejects_shape_mismatch(self, triangle):
+        state = SparsificationState(triangle)
+        state.select_edges(np.array([0, 1]))
+        with pytest.raises(GraphError):
+            state.apply_probabilities(np.array([0, 1]), np.array([0.5]))
+
+    def test_select_edges_rejects_duplicates(self, triangle):
+        state = SparsificationState(triangle)
+        with pytest.raises(GraphError):
+            state.select_edges(np.array([0, 0]))
+
+    def test_select_edges_rejects_already_selected(self, triangle):
+        state = SparsificationState(triangle)
+        state.select_edge(0)
+        with pytest.raises(GraphError):
+            state.select_edges(np.array([0, 1]))
+
+    def test_apply_probabilities_matches_scalar(self, small_power_law):
+        batched = SparsificationState(small_power_law)
+        scalar = SparsificationState(small_power_law)
+        rng = np.random.default_rng(1)
+        eids = rng.choice(batched.m, size=batched.m // 2, replace=False)
+        for state in (batched, scalar):
+            state.select_edges(eids)
+        new_ps = rng.uniform(0.0, 1.0, size=len(eids))
+        batched.apply_probabilities(eids, new_ps)
+        for eid, p in zip(eids, new_ps):
+            scalar.set_probability(int(eid), float(p))
+        assert np.allclose(batched.phat, scalar.phat, atol=0)
+        assert np.allclose(batched.delta, scalar.delta, atol=1e-12)
+        assert batched.total_residual == pytest.approx(scalar.total_residual)
+        batched.verify()
+
+    def test_apply_probabilities_rejects_unselected(self, triangle):
+        state = SparsificationState(triangle)
+        state.select_edge(0)
+        with pytest.raises(GraphError):
+            state.apply_probabilities(np.array([0, 1]), np.array([0.5, 0.5]))
+
+    def test_apply_probabilities_rejects_duplicates(self, triangle):
+        state = SparsificationState(triangle)
+        state.select_edge(0)
+        with pytest.raises(GraphError):
+            state.apply_probabilities(np.array([0, 0]), np.array([0.5, 0.6]))
+
+    def test_snapshot_restore_roundtrip(self, small_power_law):
+        state = SparsificationState(small_power_law)
+        state.select_edges(np.arange(0, state.m, 2))
+        snap = state.snapshot()
+        reference = (
+            state.phat.copy(), state.selected.copy(), state.delta.copy(),
+            state.total_residual, state.d1(),
+        )
+        state.apply_probabilities(
+            np.arange(0, state.m, 2),
+            np.full(len(np.arange(0, state.m, 2)), 0.5),
+        )
+        state.deselect_edge(0)
+        state.restore(snap)
+        assert np.array_equal(state.phat, reference[0])
+        assert np.array_equal(state.selected, reference[1])
+        assert np.array_equal(state.delta, reference[2])
+        assert state.total_residual == reference[3]
+        assert state.d1() == reference[4]
+        state.verify()
+
+
+class TestVerify:
+    def test_verify_detects_delta_corruption(self, triangle):
+        state = SparsificationState(triangle)
+        state.select_edge(0)
+        state.delta[0] += 1.0
+        with pytest.raises(AssertionError):
+            state.verify()
+
+    def test_verify_detects_residual_corruption(self, triangle):
+        state = SparsificationState(triangle)
+        state.select_edge(0)
+        state.total_residual += 1.0
+        with pytest.raises(AssertionError):
+            state.verify()
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_mixed_scalar_and_batched_ops(seed):
+    """Randomised select/deselect/set_probability + batched updates keep
+    the CSR state's invariants (verify() on every hypothesis example)."""
+    graph = flickr_like(n=30, avg_degree=6, seed=seed % 5)
+    state = SparsificationState(graph)
+    rng = np.random.default_rng(seed)
+    for _ in range(60):
+        roll = rng.random()
+        if roll < 0.5:
+            eid = int(rng.integers(0, state.m))
+            if state.selected[eid]:
+                if rng.random() < 0.5:
+                    state.deselect_edge(eid)
+                else:
+                    state.set_probability(eid, float(rng.uniform(0, 1)))
+            else:
+                state.select_edge(eid, probability=float(rng.uniform(0, 1)))
+        elif roll < 0.75:
+            unselected = np.flatnonzero(~state.selected)
+            if len(unselected):
+                take = rng.choice(
+                    unselected,
+                    size=int(rng.integers(1, min(8, len(unselected)) + 1)),
+                    replace=False,
+                )
+                state.select_edges(take, probabilities=rng.uniform(0, 1, len(take)))
+        else:
+            selected = np.flatnonzero(state.selected)
+            if len(selected):
+                take = rng.choice(
+                    selected,
+                    size=int(rng.integers(1, min(8, len(selected)) + 1)),
+                    replace=False,
+                )
+                state.apply_probabilities(take, rng.uniform(0, 1, len(take)))
     state.verify()

@@ -44,7 +44,7 @@ def test_gain_negative_when_oversatisfied(state):
     remaining = [e for e in range(state.m) if not state.selected[e]]
     # Pick a remaining edge and force it onto vertex 0? None touch 0 now;
     # instead deselect one and re-insert at a probability far above demand.
-    eid = state.incident[0][0]
+    eid = int(state.incident_edges(0)[0])
     state.deselect_edge(eid)
     assert _gain(state, eid, 1.0) < _gain(state, eid, 0.1)
 

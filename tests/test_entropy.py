@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import UncertainGraph, edge_entropy, graph_entropy, relative_entropy
-from repro.core.entropy import entropy_array
+from repro.core.entropy import entropy_array, entropy_increases
 
 
 def test_deterministic_edges_have_zero_entropy():
@@ -74,3 +74,57 @@ def test_property_entropy_in_unit_interval(p):
 @given(st.floats(min_value=1e-6, max_value=0.5 - 1e-6))
 def test_property_entropy_monotone_below_half(p):
     assert edge_entropy(p) < edge_entropy(p + 1e-6)
+
+
+class TestEntropyIncreasesClosedForm:
+    """The |p - 0.5| monotonicity test is exactly the entropy comparison.
+
+    This pins the closed form the sweep engines use in place of two
+    ``edge_entropy`` calls per step: ``H(p') > H(p) <=> |p' - 0.5| <
+    |p - 0.5|``.  The grid is dyadic (k / 128) so every value, every
+    mirror ``1 - p``, and every ``p - 0.5`` is an exact double — the
+    float comparisons then realise the mathematical predicate exactly,
+    mirror-pair ties included.
+    """
+
+    GRID = np.arange(129) / 128.0
+
+    def test_full_grid_equivalence(self):
+        grid = self.GRID
+        for a in grid:
+            ha = edge_entropy(float(a))
+            for b in grid:
+                expected = edge_entropy(float(b)) > ha
+                assert bool(entropy_increases(a, b)) == expected, (a, b)
+
+    def test_vectorised_over_pairs(self):
+        grid = self.GRID
+        current, proposed = np.meshgrid(grid, grid)
+        got = entropy_increases(current.ravel(), proposed.ravel())
+        want = np.array(
+            [
+                edge_entropy(float(p)) > edge_entropy(float(c))
+                for c, p in zip(current.ravel(), proposed.ravel())
+            ]
+        )
+        assert np.array_equal(got, want)
+
+    def test_mirror_pairs_are_ties(self):
+        for p in self.GRID:
+            assert not entropy_increases(p, 1.0 - p)
+            assert not entropy_increases(1.0 - p, p)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_property_random_pairs(self, current, proposed):
+        # Away from exact |.|-ties the closed form must agree with the
+        # log-based comparison; at float-level near-ties the log path
+        # itself rounds, so only the closed form is authoritative there.
+        gap = abs(abs(current - 0.5) - abs(proposed - 0.5))
+        if gap > 1e-12:
+            assert bool(entropy_increases(current, proposed)) == (
+                edge_entropy(proposed) > edge_entropy(current)
+            )

@@ -52,6 +52,29 @@ def test_fig04(capsys):
     assert all(v >= 0 for row in timing.rows for v in row[1:])
 
 
+def test_fig04_loop_engine():
+    assert_table_ok(run_fig04a(MICRO, engine="loop"))
+
+
+def test_fig05_engines_agree():
+    """fig05 rides the grid driver; the loop engine stays selectable and
+    both engines yield the same table shapes (EMD-free sweep: GDB-only,
+    so values agree within the loop-vs-vector contract tolerances)."""
+    from repro.experiments import run_fig05
+
+    vector_mae, vector_entropy = run_fig05(MICRO, h_values=(0.0, 1.0))
+    loop_mae, loop_entropy = run_fig05(MICRO, h_values=(0.0, 1.0), engine="loop")
+    for table in (vector_mae, vector_entropy, loop_mae, loop_entropy):
+        assert_table_ok(table, rows=2)
+    for vector_table, loop_table in (
+        (vector_mae, loop_mae), (vector_entropy, loop_entropy)
+    ):
+        for vector_row, loop_row in zip(vector_table.rows, loop_table.rows):
+            assert vector_row[0] == loop_row[0]
+            for a, b in zip(vector_row[1:], loop_row[1:]):
+                assert a == pytest.approx(b, rel=0.05, abs=1e-3)
+
+
 def test_fig06():
     results = run_fig06(MICRO)
     assert set(results) == {"flickr", "twitter"}

@@ -1,0 +1,305 @@
+"""Sweep engines: coloring, loop-vs-vector equivalence, grid driver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    GDBConfig,
+    SparsificationState,
+    build_sweep_plan,
+    d1_objective,
+    gdb,
+    gdb_grid,
+    gdb_refine,
+    greedy_edge_coloring,
+)
+from repro.core.backbone import bgi_backbone, random_backbone
+from repro.core.sweep import colored_sweep, fused_sweep
+from repro.core.rules import degree_step_absolute, degree_step_absolute_array
+from repro.datasets import erdos_renyi_uncertain, flickr_like
+
+#: Loop-vs-vector contract: converged objectives agree to this gate
+#: when both engines run to tight convergence.
+TOL = 1e-6
+
+def converged_pair(graph, backbone_ids, max_chunks=30, **config_kwargs):
+    """Converged D1 of both engines from the same backbone.
+
+    Convergence is chunked: 1000 forced sweeps at a time until the
+    objective stops changing *exactly* (the descent reaches a true fixed
+    point — per-sweep-improvement thresholds can trigger prematurely on
+    plateaus, because the entropy guard makes the convergence rate
+    non-monotone around p = 0.5 crossings).
+    """
+    relative = config_kwargs.get("relative", False)
+    chunk = GDBConfig(**{**config_kwargs, "tau": 0.0, "max_sweeps": 1000})
+    results = {}
+    for engine in ("loop", "vector"):
+        state = SparsificationState(graph)
+        for eid in backbone_ids:
+            state.select_edge(eid)
+        objectives = [state.d1(relative=relative)]
+        one_sweep = GDBConfig(**{**config_kwargs, "tau": 0.0, "max_sweeps": 1})
+        for _ in range(25):
+            gdb_refine(state, one_sweep, engine=engine)
+            objectives.append(state.d1(relative=relative))
+        previous = objectives[-1]
+        for _ in range(max_chunks):
+            gdb_refine(state, chunk, engine=engine)
+            current = state.d1(relative=relative)
+            if current == previous:
+                break
+            previous = current
+        state.verify()
+        results[engine] = (state.d1(relative=relative), objectives)
+    return results
+
+
+class TestColoring:
+    def test_proper_coloring_on_fixtures(self, small_power_law, small_sparse):
+        for graph in (small_power_law, small_sparse):
+            state = SparsificationState(graph)
+            eids = np.arange(state.m)
+            colors = greedy_edge_coloring(state.edge_vertices[eids])
+            # No two edges of one color share an endpoint.
+            for color in range(int(colors.max()) + 1):
+                uv = state.edge_vertices[eids[colors == color]]
+                flat = uv.reshape(-1)
+                assert len(np.unique(flat)) == len(flat)
+
+    def test_color_count_bounded_by_2_delta(self, small_power_law):
+        state = SparsificationState(small_power_law)
+        colors = greedy_edge_coloring(state.edge_vertices)
+        degrees = np.bincount(state.edge_vertices.reshape(-1))
+        assert int(colors.max()) + 1 <= 2 * int(degrees.max()) - 1
+
+    def test_empty_edge_set(self, triangle):
+        state = SparsificationState(triangle)
+        plan = build_sweep_plan(state)
+        assert len(plan.eids) == 0
+        assert plan.n_colors == 0
+
+
+class TestPlan:
+    def test_plan_partitions_selected_edges(self, small_power_law):
+        state = SparsificationState(small_power_law)
+        ids = bgi_backbone(small_power_law, 0.4, rng=1)
+        for eid in ids:
+            state.select_edge(eid)
+        plan = build_sweep_plan(state)
+        block_eids = [e for eids, _, _ in plan.blocks for e in eids.tolist()]
+        covered = sorted(block_eids + list(plan.tail_eids))
+        assert covered == sorted(int(e) for e in ids)
+        assert plan.seq_eids == sorted(int(e) for e in ids)
+
+    def test_sequential_only_plan_skips_coloring(self, small_power_law):
+        state = SparsificationState(small_power_law)
+        for eid in range(0, state.m, 2):
+            state.select_edge(eid)
+        plan = build_sweep_plan(state, sequential_only=True)
+        assert plan.n_colors == 0 and not plan.blocks
+        assert plan.seq_eids == [int(e) for e in state.selected_edge_ids()]
+
+    def test_colored_sweep_matches_loop_order_objective(self, small_power_law):
+        """One colored sweep is a valid coordinate-descent pass: the
+        objective drops, and delta bookkeeping stays exact."""
+        state = SparsificationState(small_power_law)
+        for eid in bgi_backbone(small_power_law, 0.4, rng=2):
+            state.select_edge(eid)
+        plan = build_sweep_plan(state)
+        before = state.d1()
+        colored_sweep(
+            state, plan, degree_step_absolute_array, degree_step_absolute, 0.05
+        )
+        assert state.d1() <= before + 1e-12
+        state.verify()
+
+
+@pytest.mark.parametrize("backbone_fn", [bgi_backbone, random_backbone])
+@pytest.mark.parametrize(
+    "config_kwargs",
+    [
+        dict(h=0.05, k=1, relative=False),
+        dict(h=1.0, k=1, relative=False),
+        dict(h=0.05, k=1, relative=True),
+        dict(h=0.05, k=2, relative=False),
+        dict(h=0.05, k="n", relative=False),
+    ],
+    ids=["abs", "abs-h1", "rel", "k2", "kn"],
+)
+class TestEngineEquivalence:
+    """Loop and vector engines reach the same converged objective.
+
+    ``k = 1``: the colored order differs from the loop order, but
+    coordinate descent on the convex D1 objective converges to the same
+    value (gated at 1e-6).  ``k >= 2`` / ``"n"``: the vector engine runs
+    the fused sequential path in the loop's order — results are exactly
+    equal.  Per-sweep monotone descent of D1 is asserted for the k = 1
+    rules (the k >= 2 rules minimise D_k, not D1).
+    """
+
+    def test_fixture_topologies(self, small_power_law, small_sparse,
+                                backbone_fn, config_kwargs):
+        for graph in (small_power_law, small_sparse):
+            ids = backbone_fn(graph, 0.35, rng=3)
+            results = converged_pair(graph, list(ids), **config_kwargs)
+            loop_obj, loop_traj = results["loop"]
+            vec_obj, vec_traj = results["vector"]
+            assert vec_obj == pytest.approx(loop_obj, rel=TOL, abs=TOL)
+            if config_kwargs["k"] == 1:
+                for trajectory in (loop_traj, vec_traj):
+                    assert all(
+                        b <= a + 1e-9
+                        for a, b in zip(trajectory, trajectory[1:])
+                    )
+            else:
+                # Fused path: bit-identical trajectory to the loop.
+                assert vec_traj == loop_traj
+                assert vec_obj == loop_obj
+
+    def test_small_fixtures(self, triangle, path4, figure1, backbone_fn,
+                            config_kwargs):
+        for graph in (triangle, path4, figure1):
+            m = graph.number_of_edges()
+            ids = list(range(0, m, 2)) or [0]
+            results = converged_pair(graph, ids, **config_kwargs)
+            assert results["vector"][0] == pytest.approx(
+                results["loop"][0], rel=TOL, abs=TOL
+            )
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_engines_agree_on_er_graphs(seed):
+    """Hypothesis ER graphs: loop and vector GDB converge together."""
+    rng = np.random.default_rng(seed)
+    graph = erdos_renyi_uncertain(30, avg_degree=8, rng=seed % 101)
+    m = graph.number_of_edges()
+    ids = rng.choice(m, size=max(1, m // 2), replace=False).tolist()
+    relative = bool(seed % 2)
+    results = converged_pair(
+        graph, ids, h=0.05, k=1, relative=relative
+    )
+    assert results["vector"][0] == pytest.approx(
+        results["loop"][0], rel=TOL, abs=TOL
+    )
+
+
+class TestGdbFacade:
+    def test_invalid_engine_rejected(self, small_power_law):
+        with pytest.raises(ValueError):
+            gdb(small_power_law, alpha=0.4, rng=0, engine="gpu")
+
+    def test_fused_is_refine_only(self, small_power_law):
+        # The facade rejects "fused"; gdb_refine accepts it (EMD's
+        # M-phase path) and matches the loop engine bit for bit.
+        with pytest.raises(ValueError):
+            gdb(small_power_law, alpha=0.4, rng=0, engine="fused")
+        states = []
+        for _ in range(2):
+            state = SparsificationState(small_power_law)
+            for eid in bgi_backbone(small_power_law, 0.3, rng=8):
+                state.select_edge(eid)
+            states.append(state)
+        config = GDBConfig(h=0.05, tau=0.0, max_sweeps=5)
+        gdb_refine(states[0], config, engine="loop")
+        gdb_refine(states[1], config, engine="fused")
+        assert np.array_equal(states[0].phat, states[1].phat)
+
+    def test_vector_is_default_and_budget_holds(self, small_power_law):
+        out = gdb(small_power_law, alpha=0.4, rng=0)
+        explicit = gdb(small_power_law, alpha=0.4, rng=0, engine="vector")
+        assert out.isomorphic_probabilities(explicit)
+
+    def test_loop_engine_still_selectable(self, small_power_law):
+        out = gdb(small_power_law, alpha=0.4, rng=0, engine="loop")
+        assert out.number_of_edges() == gdb(
+            small_power_law, alpha=0.4, rng=0
+        ).number_of_edges()
+
+    def test_relative_k2_rejected_by_both_engines(self, small_power_law):
+        for engine in ("loop", "vector"):
+            with pytest.raises(ValueError):
+                gdb(
+                    small_power_law, alpha=0.4, rng=0, engine=engine,
+                    config=GDBConfig(k=2, relative=True),
+                )
+
+
+class TestFusedSweep:
+    def test_fused_equals_loop_single_sweep(self, small_power_law):
+        """One fused sweep reproduces one loop sweep bit for bit."""
+        for k in (1, 2, "n"):
+            states = []
+            for _ in range(2):
+                state = SparsificationState(small_power_law)
+                for eid in bgi_backbone(small_power_law, 0.3, rng=4):
+                    state.select_edge(eid)
+                states.append(state)
+            config = GDBConfig(h=0.05, k=k, tau=0.0, max_sweeps=1)
+            gdb_refine(states[0], config, engine="loop")
+            plan = build_sweep_plan(states[1], sequential_only=True)
+            fused_sweep(states[1], plan, k, False, 0.05)
+            assert np.array_equal(states[0].phat, states[1].phat)
+            assert np.array_equal(states[0].delta, states[1].delta)
+
+
+class TestGridDriver:
+    def test_cells_match_independent_runs(self, small_power_law):
+        alphas = (0.3, 0.5)
+        h_values = (0.0, 0.05)
+        cells = gdb_grid(
+            small_power_law, alphas=alphas, h_values=h_values, rng=9
+        )
+        assert set(cells) == {(a, h) for a in alphas for h in h_values}
+        for (alpha, h), cell in cells.items():
+            ids = bgi_backbone(small_power_law, alpha, rng=9)
+            direct = gdb(
+                small_power_law, backbone_ids=list(ids),
+                config=GDBConfig(h=h), engine="vector",
+            )
+            assert cell.graph.number_of_edges() == direct.number_of_edges()
+            assert cell.objective == pytest.approx(
+                d1_objective(small_power_law, direct), rel=1e-6, abs=1e-9
+            )
+
+    def test_consume_reduces_cells(self, small_power_law):
+        budget = round(0.4 * small_power_law.number_of_edges())
+        cells = gdb_grid(
+            small_power_law, alphas=(0.4,), h_values=(0.0, 1.0), rng=4,
+            consume=lambda cell: (cell.h, cell.graph.number_of_edges()),
+        )
+        for (alpha, h), value in cells.items():
+            assert value == (h, budget)  # reduced value stored, not the cell
+
+    def test_build_graphs_false_skips_materialisation(self, small_power_law):
+        cells = gdb_grid(
+            small_power_law, alphas=(0.4,), h_values=(0.05,), rng=1,
+            build_graphs=False,
+        )
+        cell = cells[(0.4, 0.05)]
+        assert cell.graph is None and cell.sweeps >= 1
+        assert np.isfinite(cell.objective)
+
+    def test_loop_engine_grid(self, small_power_law):
+        vector = gdb_grid(
+            small_power_law, alphas=(0.4,), h_values=(0.05,), rng=2,
+            engine="vector", build_graphs=False, tau=0.0, max_sweeps=2000,
+        )
+        loop = gdb_grid(
+            small_power_law, alphas=(0.4,), h_values=(0.05,), rng=2,
+            engine="loop", build_graphs=False, tau=0.0, max_sweeps=2000,
+        )
+        assert vector[(0.4, 0.05)].objective == pytest.approx(
+            loop[(0.4, 0.05)].objective, rel=TOL, abs=TOL
+        )
+
+    def test_relative_and_k_variants(self, small_power_law):
+        for kwargs in (dict(relative=True), dict(k=2), dict(k="n")):
+            cells = gdb_grid(
+                small_power_law, alphas=(0.4,), h_values=(0.05,), rng=3,
+                build_graphs=False, **kwargs,
+            )
+            assert np.isfinite(cells[(0.4, 0.05)].objective)

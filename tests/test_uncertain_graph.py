@@ -277,3 +277,109 @@ class TestReadOnlyViews:
         second = triangle.edge_index_array()
         assert second is not first
         assert len(second) == 4
+
+
+class TestFromEdgeArrays:
+    def make_arrays(self):
+        vertices = ["a", "b", "c", "d"]
+        endpoints = np.array([[0, 1], [1, 2], [2, 3], [0, 2]])
+        probabilities = np.array([0.5, 0.25, 1.0, 0.1])
+        return vertices, endpoints, probabilities
+
+    def test_matches_incremental_construction(self):
+        vertices, endpoints, probabilities = self.make_arrays()
+        bulk = UncertainGraph.from_edge_arrays(vertices, endpoints, probabilities)
+        incremental = UncertainGraph(vertices=vertices)
+        for (u, v), p in zip(endpoints, probabilities):
+            incremental.add_edge(vertices[u], vertices[v], float(p))
+        assert bulk.isomorphic_probabilities(incremental)
+        assert bulk.vertices() == incremental.vertices()
+
+    def test_preseeded_views_for_canonical_order(self):
+        # Rows (u, v) with u < v sorted by u — the order build_graph
+        # supplies — pre-seed the caches verbatim.
+        vertices = ["a", "b", "c", "d"]
+        endpoints = np.array([[0, 1], [0, 2], [1, 2], [2, 3]])
+        probabilities = np.array([0.5, 0.1, 0.25, 1.0])
+        g = UncertainGraph.from_edge_arrays(
+            vertices, endpoints, probabilities, name="bulk"
+        )
+        assert g.name == "bulk"
+        assert g.edge_list() == [("a", "b"), ("a", "c"), ("b", "c"), ("c", "d")]
+        assert np.array_equal(g.probability_array(), probabilities)
+        assert np.array_equal(g.edge_index_array(), endpoints)
+        assert g.vertex_indexer() == {"a": 0, "b": 1, "c": 2, "d": 3}
+        assert not g.edge_index_array().flags.writeable
+
+    def test_non_canonical_order_gets_canonical_views(self):
+        # Arbitrary input order is accepted, but the views are built
+        # lazily in the order edges() reproduces from the adjacency —
+        # so edge ids stay stable across later cache invalidations.
+        vertices, endpoints, probabilities = self.make_arrays()
+        g = UncertainGraph.from_edge_arrays(vertices, endpoints, probabilities)
+        before = list(g.edge_list())
+        assert before == [("a", "b"), ("a", "c"), ("b", "c"), ("c", "d")]
+        g.add_vertex("z")  # invalidates caches, edge set unchanged
+        assert g.edge_list() == before  # same ids for the same edges
+
+    def test_views_rebuild_after_mutation(self):
+        vertices, endpoints, probabilities = self.make_arrays()
+        g = UncertainGraph.from_edge_arrays(vertices, endpoints, probabilities)
+        g.add_edge("b", "d", 0.9)
+        assert g.number_of_edges() == 5
+        assert len(g.edge_list()) == 5
+        assert g.probability("b", "d") == 0.9
+
+    def test_input_arrays_are_not_aliased(self):
+        vertices, endpoints, probabilities = self.make_arrays()
+        g = UncertainGraph.from_edge_arrays(vertices, endpoints, probabilities)
+        probabilities[0] = 0.9  # caller's arrays stay caller-owned
+        endpoints[0, 0] = 3
+        assert g.probability("a", "b") == 0.5
+        assert g.edge_index_array()[0, 0] == 0
+
+    def test_empty_edge_set(self):
+        g = UncertainGraph.from_edge_arrays(
+            ["x", "y"], np.empty((0, 2), dtype=np.int64), np.empty(0)
+        )
+        assert g.number_of_vertices() == 2
+        assert g.number_of_edges() == 0
+
+    def test_rejects_self_loops(self):
+        with pytest.raises(GraphError):
+            UncertainGraph.from_edge_arrays(
+                ["a", "b"], np.array([[0, 0]]), np.array([0.5])
+            )
+
+    def test_rejects_out_of_range_ids(self):
+        with pytest.raises(GraphError):
+            UncertainGraph.from_edge_arrays(
+                ["a", "b"], np.array([[0, 2]]), np.array([0.5])
+            )
+
+    def test_rejects_bad_probabilities(self):
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ProbabilityError):
+                UncertainGraph.from_edge_arrays(
+                    ["a", "b"], np.array([[0, 1]]), np.array([bad])
+                )
+
+    def test_rejects_duplicate_edges(self):
+        with pytest.raises(GraphError):
+            UncertainGraph.from_edge_arrays(
+                ["a", "b", "c"],
+                np.array([[0, 1], [1, 0]]),
+                np.array([0.5, 0.5]),
+            )
+
+    def test_rejects_duplicate_vertices(self):
+        with pytest.raises(GraphError):
+            UncertainGraph.from_edge_arrays(
+                ["a", "a"], np.empty((0, 2), dtype=np.int64), np.empty(0)
+            )
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(GraphError):
+            UncertainGraph.from_edge_arrays(
+                ["a", "b"], np.array([[0, 1]]), np.array([0.5, 0.6])
+            )
