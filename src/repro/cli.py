@@ -6,6 +6,13 @@ Sparsify a graph file to 30% of its edges with the paper's best variant::
 
     repro-sparsify sparsify graph.txt out.txt --alpha 0.3 --variant EMD^R-t
 
+Sparsify a whole alpha ladder, reusing one backbone plan (a single
+Kruskal pass serves every ratio; outputs are bit-identical to per-alpha
+runs under the same seed)::
+
+    repro-sparsify sparsify graph.txt out-{alpha}.txt \
+        --alpha 0.1,0.2,0.4 --variant GDB^A-t --backbone-plan
+
 Print structural statistics of a graph (entropy, degrees, density)::
 
     repro-sparsify info graph.txt
@@ -44,10 +51,15 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sparsify_cmd = sub.add_parser("sparsify", help="sparsify an edge-list file")
     sparsify_cmd.add_argument("input", help="input edge list (u v p per line)")
-    sparsify_cmd.add_argument("output", help="output edge list path")
     sparsify_cmd.add_argument(
-        "--alpha", type=float, required=True,
-        help="sparsification ratio in (0, 1)",
+        "output",
+        help="output edge list path; with several alphas it is a template "
+        "that must contain '{alpha}' (e.g. out-{alpha}.txt)",
+    )
+    sparsify_cmd.add_argument(
+        "--alpha", required=True,
+        help="sparsification ratio in (0, 1); a comma-separated list "
+        "(e.g. 0.1,0.2,0.4) sparsifies once per ratio",
     )
     sparsify_cmd.add_argument(
         "--variant", default="EMD^R-t",
@@ -62,6 +74,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--engine", choices=["vector", "loop"], default="vector",
         help="GDB/EMD sweep engine: the array-native engine (default) or "
         "the scalar reference loop",
+    )
+    sparsify_cmd.add_argument(
+        "--backbone-plan", action="store_true",
+        help="build one BackbonePlan and reuse it across all alphas "
+        "(one Kruskal pass for the whole ladder; outputs are "
+        "bit-identical to per-alpha construction under the same seed)",
     )
 
     info_cmd = sub.add_parser("info", help="print graph statistics")
@@ -141,19 +159,47 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_alphas(raw: str) -> list[float]:
+    try:
+        alphas = [float(part) for part in raw.split(",") if part.strip()]
+    except ValueError:
+        raise ReproError(f"invalid --alpha value: {raw!r}") from None
+    if not alphas:
+        raise ReproError(f"invalid --alpha value: {raw!r}")
+    return alphas
+
+
 def _cmd_sparsify(args: argparse.Namespace) -> int:
     graph = read_edge_list(args.input)
-    sparsified = sparsify(
-        graph, args.alpha, variant=args.variant, rng=args.seed,
-        h=args.entropy_h, engine=args.engine,
-    )
-    write_edge_list(sparsified, args.output)
-    print(
-        f"{args.input}: |V|={graph.number_of_vertices()} "
-        f"|E|={graph.number_of_edges()} -> {args.output}: "
-        f"|E'|={sparsified.number_of_edges()} "
-        f"(H ratio {relative_entropy(sparsified, graph):.4f})"
-    )
+    alphas = _parse_alphas(args.alpha)
+    if len(alphas) > 1 and "{alpha}" not in args.output:
+        raise ReproError(
+            "multiple alphas need an output template containing '{alpha}', "
+            "e.g. out-{alpha}.txt"
+        )
+    plan = None
+    if args.backbone_plan:
+        from repro.core import BackbonePlan, parse_variant
+
+        if parse_variant(args.variant).method not in ("gdb", "emd", "lp"):
+            raise ReproError(
+                f"--backbone-plan only applies to GDB/EMD/LP variants, "
+                f"not {args.variant!r}"
+            )
+        plan = BackbonePlan(graph)
+    for alpha in alphas:
+        sparsified = sparsify(
+            graph, alpha, variant=args.variant, rng=args.seed,
+            h=args.entropy_h, engine=args.engine, backbone_plan=plan,
+        )
+        output = args.output.replace("{alpha}", f"{alpha:g}")
+        write_edge_list(sparsified, output)
+        print(
+            f"{args.input}: |V|={graph.number_of_vertices()} "
+            f"|E|={graph.number_of_edges()} -> {output}: "
+            f"|E'|={sparsified.number_of_edges()} "
+            f"(H ratio {relative_entropy(sparsified, graph):.4f})"
+        )
     return 0
 
 

@@ -11,7 +11,10 @@ Public surface:
 """
 
 from repro.core.backbone import (
+    BackbonePlan,
+    backbone_as_list,
     bgi_backbone,
+    bgi_backbone_legacy,
     build_backbone,
     local_degree_backbone,
     maximum_spanning_forest,
@@ -48,6 +51,7 @@ from repro.core.sparsify import (
 from repro.core.uncertain_graph import UncertainGraph
 
 __all__ = [
+    "BackbonePlan",
     "EMDConfig",
     "SparsificationReport",
     "analyze_sparsification",
@@ -58,7 +62,9 @@ __all__ = [
     "UncertainGraph",
     "VariantSpec",
     "available_variants",
+    "backbone_as_list",
     "bgi_backbone",
+    "bgi_backbone_legacy",
     "build_backbone",
     "build_sweep_plan",
     "check_budget",

@@ -15,17 +15,36 @@ Every proposed sparsifier starts from an unweighted *backbone* with
 
 All functions work on *edge ids* — positions in
 ``graph.edge_list()`` — so they compose directly with
-:class:`repro.core.discrepancy.SparsificationState`.
+:class:`repro.core.discrepancy.SparsificationState`, and all builders
+return **read-only int64 arrays** of edge ids (use
+:func:`backbone_as_list` if a caller really needs a list).
+
+Plan-then-instantiate
+---------------------
+The forest peels of Algorithm 1 do not depend on ``alpha`` — only on
+the probability ordering of the edges.  :class:`BackbonePlan` exploits
+this: built once per graph, it runs a single stable argsort plus a
+vectorised multi-peel Kruskal (on
+:class:`repro.utils.unionfind.ArrayUnionFind`) that labels every edge
+with its *forest-peel rank*, after which the backbone for **any**
+``alpha`` is a prefix slice of the peel order plus the seeded
+Monte-Carlo top-up.  Backbones produced through a plan are bit-identical
+to the per-call reference builder (:func:`bgi_backbone_legacy`) for the
+same ``(alpha, seed)``, and backbones for nested alphas share their
+forest prefix (``alpha_1 <= alpha_2`` implies the ``alpha_1`` forest
+prefix is a prefix of the ``alpha_2`` one).
 """
 
 from __future__ import annotations
+
+import warnings
 
 import numpy as np
 
 from repro.core.uncertain_graph import UncertainGraph
 from repro.exceptions import SparsificationError
 from repro.utils.rng import ensure_rng
-from repro.utils.unionfind import UnionFind
+from repro.utils.unionfind import ArrayUnionFind, UnionFind
 
 
 def target_edge_count(m: int, alpha: float) -> int:
@@ -37,12 +56,36 @@ def target_edge_count(m: int, alpha: float) -> int:
     return max(1, int(round(alpha * m)))
 
 
+def _as_edge_ids(ids) -> np.ndarray:
+    """Normalise a builder result to a read-only int64 edge-id array."""
+    arr = np.array(ids, dtype=np.int64, copy=True)
+    arr.setflags(write=False)
+    return arr
+
+
+def backbone_as_list(ids) -> list[int]:
+    """Deprecated shim: convert a backbone edge-id array to ``list[int]``.
+
+    Backbone builders historically returned ``list[int]``; they now
+    return read-only int64 arrays (which iterate, index and ``len()``
+    the same way).  Callers that genuinely need a list should migrate;
+    this shim exists so they keep working one release longer.
+    """
+    warnings.warn(
+        "backbone builders return read-only int64 arrays now; "
+        "backbone_as_list is a transitional shim and will be removed",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return [int(eid) for eid in ids]
+
+
 def maximum_spanning_forest(
     n: int,
     candidate_ids: np.ndarray,
     edge_vertices: np.ndarray,
     probabilities: np.ndarray,
-) -> list[int]:
+) -> np.ndarray:
     """Kruskal maximum spanning forest over a subset of edges.
 
     Parameters
@@ -58,9 +101,10 @@ def maximum_spanning_forest(
 
     Returns
     -------
-    list[int]
-        Ids of the forest edges (maximal: one tree per connected
-        component of the candidate subgraph).
+    numpy.ndarray
+        Read-only int64 ids of the forest edges in acceptance order
+        (maximal: one tree per connected component of the candidate
+        subgraph).
     """
     order = np.argsort(-probabilities[candidate_ids], kind="stable")
     uf = UnionFind(n)
@@ -70,7 +114,7 @@ def maximum_spanning_forest(
         u, v = edge_vertices[eid]
         if uf.union(int(u), int(v)):
             forest.append(eid)
-    return forest
+    return _as_edge_ids(forest)
 
 
 def _mc_top_up(
@@ -109,17 +153,265 @@ def _mc_top_up(
                     return
 
 
+def _mc_top_up_array(
+    parts: list[np.ndarray],
+    count: int,
+    remaining: np.ndarray,
+    probabilities: np.ndarray,
+    target: int,
+    rng: np.random.Generator,
+    max_passes: int = 10_000,
+) -> int:
+    """Array twin of :func:`_mc_top_up`; appends pick batches to ``parts``.
+
+    Draw-for-draw identical to the scalar reference: each pass consumes
+    one ``rng.permutation`` over the ascending remaining ids plus one
+    ``rng.random`` block, and keeps accepted edges in permutation order
+    (``remaining`` must be sorted ascending — the iteration order of the
+    reference's ``set`` of dense edge ids).  Returns the new count.
+    """
+    passes = 0
+    while count < target and len(remaining):
+        passes += 1
+        if passes > max_passes:
+            # Deterministic fallback, ties broken by ascending edge id
+            # exactly like the reference's stable sort.
+            order = np.argsort(-probabilities[remaining], kind="stable")
+            take = remaining[order[: target - count]]
+            parts.append(take)
+            return count + len(take)
+        perm = rng.permutation(remaining)
+        draws = rng.random(len(perm))
+        hits = np.flatnonzero(draws < probabilities[perm])[: target - count]
+        take = perm[hits]
+        parts.append(take)
+        count += len(take)
+        remaining = np.setdiff1d(remaining, take, assume_unique=True)
+    return count
+
+
+class BackbonePlan:
+    """Reusable backbone factory: one Kruskal pass serves every alpha.
+
+    The plan lazily computes the graph's *nested maximum-spanning-forest
+    decomposition*: peel 1 is the maximum spanning forest, peel ``k`` the
+    maximum spanning forest of the edges left by peels ``1 .. k-1``.  All
+    peels share one stable argsort of the probabilities and run as
+    vectorised Kruskal sweeps on :class:`~repro.utils.unionfind.ArrayUnionFind`
+    (``find_many`` root filtering + order-respecting ``union_batch``), so
+    each edge gets a *forest-peel rank* without any per-alpha re-sorting.
+
+    Instantiating a backbone (:meth:`backbone`) is then a prefix slice of
+    the peel order — truncated by Algorithm 1's spanning budget — plus
+    the seeded Monte-Carlo top-up.  Guarantees:
+
+    - **determinism** — ``plan.backbone(alpha, rng=seed)`` is
+      bit-identical to the per-call reference
+      (:func:`bgi_backbone_legacy` / the scalar ``random`` and
+      ``local_degree`` builders) for every ``(alpha, seed)``; results
+      for int seeds are memoised, so repeated requests are free;
+    - **nesting** — for ``alpha_1 <= alpha_2`` (same
+      ``spanning_fraction`` / ``max_forests``) the forest prefix of the
+      ``alpha_1`` backbone is a prefix of the ``alpha_2`` one;
+    - **connectivity** — every peel is a maximal spanning forest, so any
+      backbone containing peel 1 spans each connected component.
+
+    Construction is cheap (array grabs only); peels, the local-degree
+    ranking and per-seed backbones are computed on first use.
+    """
+
+    def __init__(self, graph: UncertainGraph) -> None:
+        self.graph = graph
+        self.n = graph.number_of_vertices()
+        self.edge_vertices = graph.edge_index_array()
+        self.probabilities = np.array(graph.probability_array(), dtype=np.float64)
+        self.m = len(self.probabilities)
+        self._forests: list[np.ndarray] = []
+        self._peel_rank = np.zeros(self.m, dtype=np.int64)
+        self._unpeeled: "np.ndarray | None" = None  # sorted-order ids left
+        self._local_degree_order: "np.ndarray | None" = None
+        self._cache: dict = {}
+
+    # -- nested forest peels ----------------------------------------------
+    @property
+    def peel_rank(self) -> np.ndarray:
+        """Forest number of each edge (1-based); 0 = not yet peeled.
+
+        Ranks appear as peels are computed (:meth:`ensure_forests`); the
+        full decomposition assigns every edge a positive rank.
+        """
+        view = self._peel_rank.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def forests_computed(self) -> int:
+        """Number of forest peels computed so far."""
+        return len(self._forests)
+
+    def forest(self, index: int) -> np.ndarray:
+        """Edge ids of peel ``index`` (0-based), in acceptance order."""
+        self.ensure_forests(index + 1)
+        return self._forests[index]
+
+    def ensure_forests(self, count: int) -> None:
+        """Compute forest peels until ``count`` exist (or edges run out)."""
+        if self._unpeeled is None:
+            order = np.argsort(-self.probabilities, kind="stable")
+            self._unpeeled = order
+        while len(self._forests) < count and len(self._unpeeled):
+            cand = self._unpeeled
+            uf = ArrayUnionFind(self.n)
+            accepted = uf.union_batch(
+                self.edge_vertices[cand, 0], self.edge_vertices[cand, 1]
+            )
+            forest = cand[accepted]
+            forest.setflags(write=False)
+            self._unpeeled = cand[~accepted]
+            self._forests.append(forest)
+            self._peel_rank[forest] = len(self._forests)
+
+    def forest_prefix(
+        self,
+        alpha: float,
+        spanning_fraction: float = 0.5,
+        max_forests: int = 6,
+    ) -> np.ndarray:
+        """Forest edges of the ``alpha`` backbone (before MC top-up).
+
+        Algorithm 1's spanning phase as a prefix of the peel order: the
+        whole first forest (connectivity), then further peels while the
+        spanning budget ``spanning_fraction * alpha * |E|`` has room, up
+        to ``max_forests`` peels, truncated at the edge budget.  Nested
+        across alphas by construction.
+        """
+        target = target_edge_count(self.m, alpha)
+        self.ensure_forests(1)
+        first = self._forests[0] if self._forests else np.empty(0, dtype=np.int64)
+        if len(first) > target:
+            raise SparsificationError(
+                f"alpha={alpha} keeps {target} edges but a spanning forest needs "
+                f"{len(first)}; connectivity cannot be preserved "
+                f"(require alpha >= (|V|-1)/|E|)"
+            )
+        parts = [first]
+        count = len(first)
+        spanning_budget = int(spanning_fraction * alpha * self.m)
+        forests_built = 1
+        while (
+            count < spanning_budget
+            and forests_built < max_forests
+            and count < self.m
+            and count < target
+        ):
+            self.ensure_forests(forests_built + 1)
+            if len(self._forests) <= forests_built:
+                break
+            forest = self._forests[forests_built]
+            if not len(forest):
+                break
+            if count + len(forest) > target:
+                forest = forest[: target - count]
+            parts.append(forest)
+            count += len(forest)
+            forests_built += 1
+        prefix = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        prefix.setflags(write=False)
+        return prefix
+
+    # -- instantiation ----------------------------------------------------
+    def backbone(
+        self,
+        alpha: float,
+        method: str = "bgi",
+        rng: "int | np.random.Generator | None" = None,
+        **kwargs,
+    ) -> np.ndarray:
+        """Backbone edge ids for ``alpha`` under ``method``.
+
+        ``method`` / ``rng`` / ``kwargs`` follow :func:`build_backbone`.
+        Results for int seeds are memoised (backbones are deterministic
+        given ``(method, alpha, seed)``), so ladder drivers that re-seed
+        per alpha get each cell's backbone exactly once.
+        """
+        if method == "bgi":
+            # Normalise the spanning knobs so explicit defaults and
+            # omitted kwargs share one cache key.
+            kwargs = {"spanning_fraction": 0.5, "max_forests": 6, **kwargs}
+        key = None
+        if rng is None or isinstance(rng, (int, np.integer)):
+            if method == "local_degree" or rng is not None:
+                key = (
+                    method,
+                    float(alpha),
+                    None if rng is None else int(rng),
+                    tuple(sorted(kwargs.items())),
+                )
+            if key is not None and key in self._cache:
+                return self._cache[key]
+        ids = self._instantiate(alpha, method, rng, kwargs)
+        if key is not None:
+            self._cache[key] = ids
+        return ids
+
+    def _instantiate(self, alpha, method, rng, kwargs) -> np.ndarray:
+        if method == "bgi":
+            prefix = self.forest_prefix(alpha, **kwargs)
+            target = target_edge_count(self.m, alpha)
+            remaining = np.setdiff1d(
+                np.arange(self.m, dtype=np.int64), prefix, assume_unique=True
+            )
+            parts = [prefix]
+            _mc_top_up_array(
+                parts, len(prefix), remaining, self.probabilities,
+                target, ensure_rng(rng),
+            )
+            return _as_edge_ids(np.concatenate(parts))
+        if method == "random":
+            if kwargs:
+                raise TypeError(
+                    f"random backbone takes no extra options, got {sorted(kwargs)}"
+                )
+            target = target_edge_count(self.m, alpha)
+            parts: list[np.ndarray] = []
+            _mc_top_up_array(
+                parts, 0, np.arange(self.m, dtype=np.int64),
+                self.probabilities, target, ensure_rng(rng),
+            )
+            joined = (
+                np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+            )
+            return _as_edge_ids(joined)
+        if method == "local_degree":
+            if kwargs:
+                raise TypeError(
+                    f"local_degree backbone takes no extra options, "
+                    f"got {sorted(kwargs)}"
+                )
+            if self._local_degree_order is None:
+                self._local_degree_order = _local_degree_order(self.graph)
+            target = target_edge_count(self.m, alpha)
+            return _as_edge_ids(self._local_degree_order[:target])
+        # Methods without a plan formulation (t_bundle) fall back to the
+        # per-call builder.
+        return build_backbone(self.graph, alpha, method=method, rng=rng, **kwargs)
+
+
 def bgi_backbone(
     graph: UncertainGraph,
     alpha: float,
     rng: "int | np.random.Generator | None" = None,
     spanning_fraction: float = 0.5,
     max_forests: int = 6,
-) -> list[int]:
+    plan: "BackbonePlan | None" = None,
+) -> np.ndarray:
     """Backbone Graph Initialisation (Algorithm 1).
 
-    Returns the ids of ``alpha |E|`` edges: first the union of maximum
-    spanning forests (connectivity backbone), then Monte-Carlo top-up.
+    Returns the ids of ``alpha |E|`` edges as a read-only int64 array:
+    first the union of maximum spanning forests (connectivity backbone),
+    then Monte-Carlo top-up.  Runs through a :class:`BackbonePlan`
+    (pass ``plan`` to reuse one across calls); results are bit-identical
+    to the per-call reference :func:`bgi_backbone_legacy`.
 
     Parameters
     ----------
@@ -134,6 +426,9 @@ def bgi_backbone(
         (the paper's ``0.5 alpha`` rule).
     max_forests:
         Stop peeling forests after this many (the paper's "first six").
+    plan:
+        Optional precomputed plan for ``graph``; built on the fly when
+        omitted.
 
     Raises
     ------
@@ -141,6 +436,29 @@ def bgi_backbone(
         If ``alpha |E|`` is smaller than a single spanning tree, i.e.
         ``alpha < (|V| - 1) / |E|`` for a connected graph (the paper's
         footnote 7 assumption).
+    """
+    if plan is None:
+        plan = BackbonePlan(graph)
+    elif plan.graph is not graph:
+        raise ValueError("backbone plan was built for a different graph")
+    return plan.backbone(
+        alpha, method="bgi", rng=rng,
+        spanning_fraction=spanning_fraction, max_forests=max_forests,
+    )
+
+
+def bgi_backbone_legacy(
+    graph: UncertainGraph,
+    alpha: float,
+    rng: "int | np.random.Generator | None" = None,
+    spanning_fraction: float = 0.5,
+    max_forests: int = 6,
+) -> np.ndarray:
+    """Per-call reference implementation of Algorithm 1.
+
+    The scalar list-and-set construction :func:`bgi_backbone` used before
+    the plan refactor; kept as the seeded-equivalence oracle the plan
+    path is regression-pinned against.
     """
     rng = ensure_rng(rng)
     m = graph.number_of_edges()
@@ -163,8 +481,8 @@ def bgi_backbone(
             f"{len(first)}; connectivity cannot be preserved "
             f"(require alpha >= (|V|-1)/|E|)"
         )
-    chosen.extend(first)
-    remaining.difference_update(first)
+    chosen.extend(int(e) for e in first)
+    remaining.difference_update(chosen)
 
     spanning_budget = int(spanning_fraction * alpha * m)
     forests_built = 1
@@ -174,10 +492,12 @@ def bgi_backbone(
         and remaining
         and len(chosen) < target
     ):
-        forest = maximum_spanning_forest(
-            n, np.fromiter(remaining, dtype=np.int64, count=len(remaining)),
-            edge_vertices, probabilities,
-        )
+        forest = [
+            int(e) for e in maximum_spanning_forest(
+                n, np.fromiter(remaining, dtype=np.int64, count=len(remaining)),
+                edge_vertices, probabilities,
+            )
+        ]
         if not forest:
             break
         if len(chosen) + len(forest) > target:
@@ -187,39 +507,40 @@ def bgi_backbone(
         forests_built += 1
 
     _mc_top_up(chosen, remaining, probabilities, target, rng)
-    return chosen
+    return _as_edge_ids(chosen)
 
 
 def random_backbone(
     graph: UncertainGraph,
     alpha: float,
     rng: "int | np.random.Generator | None" = None,
-) -> list[int]:
+    plan: "BackbonePlan | None" = None,
+) -> np.ndarray:
     """Random backbone: Monte-Carlo edge sampling until ``alpha |E|`` edges.
 
     This is the backbone of the non-``t`` variants in section 6.1 (and
     the deterministic-graph heuristic of [24]): connectivity is *not*
-    guaranteed.
+    guaranteed.  Returns a read-only int64 edge-id array.
     """
+    if plan is not None:
+        if plan.graph is not graph:
+            raise ValueError("backbone plan was built for a different graph")
+        return plan.backbone(alpha, method="random", rng=rng)
     rng = ensure_rng(rng)
     m = graph.number_of_edges()
     target = target_edge_count(m, alpha)
     probabilities = np.array(graph.probability_array())
-    chosen: list[int] = []
-    remaining = set(range(m))
-    _mc_top_up(chosen, remaining, probabilities, target, rng)
-    return chosen
+    parts: list[np.ndarray] = []
+    _mc_top_up_array(
+        parts, 0, np.arange(m, dtype=np.int64), probabilities, target, rng
+    )
+    joined = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+    return _as_edge_ids(joined)
 
 
-def local_degree_backbone(graph: UncertainGraph, alpha: float) -> list[int]:
-    """Local Degree heuristic backbone (Lindner et al. [24], for ablations).
-
-    Each vertex nominates its incident edges towards the highest-degree
-    neighbours; edges are accepted in nomination-rank order until the
-    budget fills.  Deterministic.
-    """
+def _local_degree_order(graph: UncertainGraph) -> np.ndarray:
+    """Full Local-Degree nomination ranking of all edges (alpha-free)."""
     m = graph.number_of_edges()
-    target = target_edge_count(m, alpha)
     indexer = graph.vertex_indexer()
     edge_list = graph.edge_list()
     edge_id_of: dict[tuple[int, int], int] = {}
@@ -239,8 +560,31 @@ def local_degree_backbone(graph: UncertainGraph, alpha: float) -> list[int]:
             if eid not in rank or score < rank[eid]:
                 rank[eid] = score
 
-    ordered = sorted(range(m), key=lambda eid: (rank.get(eid, 1.0), eid))
-    return ordered[:target]
+    return np.array(
+        sorted(range(m), key=lambda eid: (rank.get(eid, 1.0), eid)),
+        dtype=np.int64,
+    )
+
+
+def local_degree_backbone(
+    graph: UncertainGraph,
+    alpha: float,
+    plan: "BackbonePlan | None" = None,
+) -> np.ndarray:
+    """Local Degree heuristic backbone (Lindner et al. [24], for ablations).
+
+    Each vertex nominates its incident edges towards the highest-degree
+    neighbours; edges are accepted in nomination-rank order until the
+    budget fills.  Deterministic; the nomination ranking is alpha-free,
+    so a :class:`BackbonePlan` computes it once and slices per alpha.
+    """
+    if plan is not None:
+        if plan.graph is not graph:
+            raise ValueError("backbone plan was built for a different graph")
+        return plan.backbone(alpha, method="local_degree")
+    m = graph.number_of_edges()
+    target = target_edge_count(m, alpha)
+    return _as_edge_ids(_local_degree_order(graph)[:target])
 
 
 def build_backbone(
@@ -248,14 +592,22 @@ def build_backbone(
     alpha: float,
     method: str = "bgi",
     rng: "int | np.random.Generator | None" = None,
+    plan: "BackbonePlan | None" = None,
     **kwargs,
-) -> list[int]:
+) -> np.ndarray:
     """Dispatch on backbone construction method.
 
     ``method`` is one of ``"bgi"`` (Algorithm 1, the ``-t`` variants),
     ``"random"`` (Monte-Carlo sampling), ``"local_degree"`` ([24]) or
     ``"t_bundle"`` (edge-disjoint spanner layers, footnote 8 / [21]).
+    Returns a read-only int64 edge-id array.  Pass ``plan`` (a
+    :class:`BackbonePlan` for ``graph``) to share the Kruskal peel work
+    — and, for int seeds, the backbones themselves — across calls.
     """
+    if plan is not None:
+        if plan.graph is not graph:
+            raise ValueError("backbone plan was built for a different graph")
+        return plan.backbone(alpha, method=method, rng=rng, **kwargs)
     if method == "bgi":
         return bgi_backbone(graph, alpha, rng=rng, **kwargs)
     if method == "random":
@@ -265,5 +617,5 @@ def build_backbone(
     if method == "t_bundle":
         from repro.core.tbundle import t_bundle_backbone
 
-        return t_bundle_backbone(graph, alpha, rng=rng, **kwargs)
+        return _as_edge_ids(t_bundle_backbone(graph, alpha, rng=rng, **kwargs))
     raise ValueError(f"unknown backbone method: {method!r}")

@@ -32,9 +32,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.backbone import build_backbone
+from repro.core.backbone import BackbonePlan
 from repro.core.discrepancy import SparsificationState
-from repro.core.gdb import GDBConfig, _validate_engine, gdb_refine
+from repro.core.gdb import GDBConfig, _resolve_backbone, _validate_engine, gdb_refine
 from repro.core.sweep import clamp_and_attenuate
 from repro.core.rules import (
     degree_step_absolute,
@@ -236,12 +236,15 @@ def emd(
     rng: "int | np.random.Generator | None" = None,
     name: str = "",
     engine: str = "vector",
+    backbone_plan: "BackbonePlan | None" = None,
 ) -> UncertainGraph:
     """Sparsify ``graph`` with Expectation-Maximization Degree (Algorithm 3).
 
-    Arguments mirror :func:`repro.core.gdb.gdb`; EMD additionally mutates
-    the backbone's *edge set* during its E-phases, so it is less
-    sensitive to the initial backbone than GDB (section 4.3).
+    Arguments mirror :func:`repro.core.gdb.gdb` (including
+    ``backbone_plan``, which the ``alpha`` path uses to build the seed
+    backbone); EMD additionally mutates the backbone's *edge set* during
+    its E-phases, so it is less sensitive to the initial backbone than
+    GDB (section 4.3).
 
     ``engine="vector"`` (default) vectorises the E-phase candidate scan
     and runs the M-phase on the fused sequential sweep; the result is
@@ -252,16 +255,14 @@ def emd(
     UncertainGraph
         Sparsified graph with the same edge budget as the backbone.
     """
-    if (alpha is None) == (backbone_ids is None):
-        raise ValueError("provide exactly one of alpha or backbone_ids")
     engine = _validate_engine(engine)
     config = config or EMDConfig()
-    if backbone_ids is None:
-        backbone_ids = build_backbone(graph, alpha, method=backbone_method, rng=rng)
+    backbone_ids = _resolve_backbone(
+        graph, alpha, backbone_ids, backbone_method, rng, backbone_plan
+    )
 
     state = SparsificationState(graph)
-    for eid in backbone_ids:
-        state.select_edge(eid)
+    state.select_edges(backbone_ids)
 
     e_phase = _e_phase if engine == "loop" else _e_phase_vector
     # The M-phase of the vector engine is the fused sequential sweep:

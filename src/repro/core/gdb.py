@@ -33,7 +33,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.backbone import build_backbone
+from repro.core.backbone import BackbonePlan, build_backbone
 from repro.core.discrepancy import SparsificationState
 from repro.core.rules import make_array_rule, make_rule
 from repro.core.sweep import (
@@ -171,6 +171,38 @@ def gdb_refine(
     return sweeps
 
 
+def _resolve_backbone(
+    graph: UncertainGraph,
+    alpha: "float | None",
+    backbone_ids,
+    backbone_method: str,
+    rng,
+    backbone_plan: "BackbonePlan | None",
+) -> np.ndarray:
+    """Shared backbone resolution for the gdb/emd/lp facades.
+
+    Exactly one of ``alpha`` or ``backbone_ids`` must be given; a
+    ``backbone_plan`` (which must belong to ``graph``) only applies to
+    the ``alpha`` path, where it replaces the per-call
+    :func:`build_backbone`.
+    """
+    if (alpha is None) == (backbone_ids is None):
+        raise ValueError("provide exactly one of alpha or backbone_ids")
+    if backbone_plan is not None:
+        if backbone_plan.graph is not graph:
+            raise ValueError("backbone plan was built for a different graph")
+        if backbone_ids is not None:
+            raise ValueError(
+                "backbone_plan only applies when the backbone is built "
+                "from alpha; drop it when passing backbone_ids"
+            )
+    if backbone_ids is None:
+        backbone_ids = build_backbone(
+            graph, alpha, method=backbone_method, rng=rng, plan=backbone_plan
+        )
+    return np.asarray(backbone_ids, dtype=np.int64)
+
+
 def gdb(
     graph: UncertainGraph,
     alpha: float | None = None,
@@ -180,6 +212,7 @@ def gdb(
     rng: "int | np.random.Generator | None" = None,
     name: str = "",
     engine: str = "vector",
+    backbone_plan: "BackbonePlan | None" = None,
 ) -> UncertainGraph:
     """Sparsify ``graph`` with Gradient Descent Backbone (Algorithm 2).
 
@@ -207,21 +240,24 @@ def gdb(
     engine:
         Sweep engine, ``"vector"`` (default) or ``"loop"`` (see
         :func:`gdb_refine`).
+    backbone_plan:
+        Optional :class:`~repro.core.backbone.BackbonePlan` for
+        ``graph``: the ``alpha`` path builds its backbone from the plan
+        (bit-identical to the per-call builder for the same seed, with
+        the Kruskal peels shared across calls).
 
     Returns
     -------
     UncertainGraph
         Sparsified graph on the full vertex set with ``alpha |E|`` edges.
     """
-    if (alpha is None) == (backbone_ids is None):
-        raise ValueError("provide exactly one of alpha or backbone_ids")
     engine = _validate_engine(engine)
     config = config or GDBConfig()
-    if backbone_ids is None:
-        backbone_ids = build_backbone(graph, alpha, method=backbone_method, rng=rng)
+    backbone_ids = _resolve_backbone(
+        graph, alpha, backbone_ids, backbone_method, rng, backbone_plan
+    )
     state = SparsificationState(graph)
-    for eid in backbone_ids:
-        state.select_edge(eid)
+    state.select_edges(backbone_ids)
     gdb_refine(state, config, engine=engine)
     label = name or f"gdb[{'R' if config.relative else 'A'},k={config.k}]({graph.name})"
     return state.build_graph(name=label)

@@ -1,15 +1,19 @@
-"""Grid-sweep driver: one CSR state across an (alpha, h) parameter grid.
+"""Grid-sweep driver: one CSR state and one backbone plan across an
+(alpha, h) parameter grid.
 
-The fig. 5-style experiments sweep GDB over a grid of sparsification
+The fig. 4/5-style experiments sweep GDB over a grid of sparsification
 ratios and entropy parameters.  Naively each cell pays for the full
 setup again — edge views, ``SparsificationState`` construction (CSR
-incidence), backbone building, and the sweep plan (greedy coloring).
-None of that depends on ``h``, and everything except the backbone and
-plan is independent of ``alpha`` too, so this driver builds each exactly
-once:
+incidence), backbone building (a fresh Kruskal per cell), and the sweep
+plan (greedy coloring).  None of that depends on ``h``, and everything
+except the backbone prefix length and sweep plan is independent of
+``alpha`` too, so this driver builds each exactly once:
 
 - one :class:`SparsificationState` per graph (CSR incidence shared by
   every cell),
+- one :class:`~repro.core.backbone.BackbonePlan` per graph (a single
+  stable argsort + nested Kruskal peels shared by every *alpha*; each
+  alpha's backbone is a peel-prefix slice plus its seeded MC top-up),
 - one backbone + seeded-state snapshot + :class:`SweepPlan` per alpha,
 - per ``h``: restore the snapshot, run :func:`gdb_refine` with the
   shared plan, and record the converged objective (optionally the
@@ -18,7 +22,8 @@ once:
 ``rng`` follows :func:`repro.core.backbone.build_backbone` semantics: an
 int seed re-seeds per alpha (matching the historical fig05 protocol of
 building each backbone from the same seed), a generator draws
-sequentially.
+sequentially.  Either way each cell's backbone is bit-identical to an
+independent ``build_backbone`` call under the same seed.
 """
 
 from __future__ import annotations
@@ -27,7 +32,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.backbone import build_backbone
+from repro.core.backbone import BackbonePlan
 from repro.core.discrepancy import SparsificationState
 from repro.core.gdb import GDBConfig, _colored_eligible, _validate_engine, gdb_refine
 from repro.core.sweep import build_sweep_plan
@@ -41,7 +46,10 @@ class GridCell:
     ``objective`` is the converged ``D_1`` (relative variant when the
     grid ran with ``relative=True``); ``graph`` is ``None`` when the
     driver ran with ``build_graphs=False`` (objective-only sweeps skip
-    materialisation entirely).
+    materialisation entirely).  ``backbone`` is the cell's backbone
+    edge-id array (read-only; shared across the cell's ``h`` row), so
+    ``consume`` hooks that need the seed edge set — e.g. fig04's
+    cuts-vs-time reduction — don't rebuild it.
     """
 
     alpha: float
@@ -49,6 +57,7 @@ class GridCell:
     objective: float
     sweeps: int
     graph: "UncertainGraph | None"
+    backbone: "np.ndarray | None" = None
 
 
 def gdb_grid(
@@ -65,33 +74,40 @@ def gdb_grid(
     build_graphs: bool = True,
     name_prefix: str = "",
     consume=None,
+    backbone_plan: "BackbonePlan | None" = None,
 ) -> dict[tuple[float, float], "GridCell | object"]:
     """Run GDB over the full ``alphas x h_values`` grid, sharing setup.
 
     Returns a dict keyed ``(alpha, h)``.  Each cell is equivalent to an
     independent :func:`repro.core.gdb.gdb` call with the same backbone —
     the snapshot/restore resets probabilities exactly to the backbone
-    seed between cells.
+    seed between cells, and the shared :class:`BackbonePlan` yields
+    backbones bit-identical to per-cell ``build_backbone`` calls.
 
     ``consume``, if given, is called with each finished
-    :class:`GridCell` and its return value is stored instead of the
-    cell; use it to reduce a cell to its metrics on the spot so the
-    driver never holds more than one materialised graph at a time
-    (``build_graphs=False`` skips materialisation altogether when only
-    objectives are wanted).
+    :class:`GridCell` (including its ``backbone`` edge ids) and its
+    return value is stored instead of the cell; use it to reduce a cell
+    to its metrics on the spot so the driver never holds more than one
+    materialised graph at a time (``build_graphs=False`` skips
+    materialisation altogether when only objectives are wanted).
+
+    ``backbone_plan``, if given, must belong to ``graph``; otherwise one
+    is built internally (callers sweeping several grids over the same
+    graph should build one plan and pass it to every call).
     """
     engine = _validate_engine(engine)
     alphas = list(alphas)
     h_values = list(h_values)
+    if backbone_plan is None:
+        backbone_plan = BackbonePlan(graph)
+    elif backbone_plan.graph is not graph:
+        raise ValueError("backbone plan was built for a different graph")
     state = SparsificationState(graph)
     empty = state.snapshot()
     colored = _colored_eligible(engine, k, state.n)
     results: dict[tuple[float, float], GridCell] = {}
     for alpha in alphas:
-        backbone = np.asarray(
-            build_backbone(graph, alpha, method=backbone_method, rng=rng),
-            dtype=np.int64,
-        )
+        backbone = backbone_plan.backbone(alpha, method=backbone_method, rng=rng)
         state.select_edges(backbone)
         seeded = state.snapshot()
         plan = build_sweep_plan(state, sequential_only=not colored)
@@ -111,7 +127,7 @@ def gdb_grid(
                 cell_graph = state.build_graph(name=label)
             cell = GridCell(
                 alpha=alpha, h=h, objective=objective,
-                sweeps=sweeps, graph=cell_graph,
+                sweeps=sweeps, graph=cell_graph, backbone=backbone,
             )
             results[(alpha, h)] = cell if consume is None else consume(cell)
         state.restore(empty)

@@ -20,7 +20,8 @@ import numpy as np
 from scipy import sparse
 from scipy.optimize import linprog
 
-from repro.core.backbone import build_backbone
+from repro.core.backbone import BackbonePlan
+from repro.core.gdb import _resolve_backbone
 from repro.core.uncertain_graph import UncertainGraph
 from repro.exceptions import SparsificationError
 
@@ -39,7 +40,7 @@ def lp_assign_probabilities(
         If the solver fails (should not happen: ``p' = 0`` is always
         feasible).
     """
-    if not backbone_ids:
+    if len(backbone_ids) == 0:
         return np.zeros(0, dtype=np.float64)
     edge_vertices = graph.edge_index_array()
     n = graph.number_of_vertices()
@@ -76,18 +77,18 @@ def lp_sparsify(
     backbone_method: str = "bgi",
     rng: "int | np.random.Generator | None" = None,
     name: str = "",
+    backbone_plan: "BackbonePlan | None" = None,
 ) -> UncertainGraph:
     """Sparsify by backbone construction + optimal LP assignment.
 
-    Mirrors :func:`repro.core.gdb.gdb`'s interface.  Probabilities that
-    the LP drives to zero are kept at a tiny positive floor so the
-    returned graph honours the edge budget (Section 3 requires
-    ``p' in (0, 1]``).
+    Mirrors :func:`repro.core.gdb.gdb`'s interface (including
+    ``backbone_plan`` for the ``alpha`` path).  Probabilities that the
+    LP drives to zero are kept at a tiny positive floor so the returned
+    graph honours the edge budget (Section 3 requires ``p' in (0, 1]``).
     """
-    if (alpha is None) == (backbone_ids is None):
-        raise ValueError("provide exactly one of alpha or backbone_ids")
-    if backbone_ids is None:
-        backbone_ids = build_backbone(graph, alpha, method=backbone_method, rng=rng)
+    backbone_ids = _resolve_backbone(
+        graph, alpha, backbone_ids, backbone_method, rng, backbone_plan
+    )
     probabilities = lp_assign_probabilities(graph, backbone_ids)
     edge_list = graph.edge_list()
     floor = 1e-9

@@ -31,7 +31,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.backbone import build_backbone, target_edge_count
+from repro.core.backbone import BackbonePlan, build_backbone, target_edge_count
 from repro.core.emd_sparsifier import EMDConfig, emd
 from repro.core.gdb import GDBConfig, _validate_engine, gdb
 from repro.core.lp import lp_sparsify
@@ -99,6 +99,8 @@ def sparsify(
     tau: float = 1e-9,
     name: str = "",
     engine: str = "vector",
+    backbone_plan: "BackbonePlan | None" = None,
+    backbone: "np.ndarray | list[int] | None" = None,
 ) -> UncertainGraph:
     """Sparsify an uncertain graph with any paper variant.
 
@@ -125,6 +127,15 @@ def sparsify(
         Sweep/scan engine for GDB/EMD: ``"vector"`` (default, the
         array-native engine) or ``"loop"`` (the scalar reference).  The
         LP and benchmark methods have no iterative core and ignore it.
+    backbone_plan:
+        Optional :class:`~repro.core.backbone.BackbonePlan` for
+        ``graph``: GDB/EMD/LP variants build their backbone from the
+        plan (bit-identical to the per-call builder for the same seed),
+        so one plan serves a whole alpha ladder or variant sweep.
+    backbone:
+        Optional precomputed backbone edge ids (positions into
+        ``graph.edge_list()``), skipping backbone construction entirely.
+        Mutually exclusive with ``backbone_plan``.
 
     Returns
     -------
@@ -135,22 +146,37 @@ def sparsify(
     spec = parse_variant(variant)
     backbone_method = "bgi" if spec.bgi_backbone else "random"
     label = name or f"{spec.canonical_name}@{alpha:g}({graph.name})"
+    if backbone is not None and backbone_plan is not None:
+        raise ValueError("provide at most one of backbone and backbone_plan")
+    if spec.method in ("ni", "sp", "er", "random") and (
+        backbone is not None or backbone_plan is not None
+    ):
+        raise ValueError(
+            f"variant {spec.canonical_name!r} does not take a backbone; "
+            f"backbone/backbone_plan only apply to GDB/EMD/LP"
+        )
+    # The iterative methods take exactly one of (alpha, backbone_ids).
+    seed_kwargs = (
+        dict(backbone_ids=backbone)
+        if backbone is not None
+        else dict(alpha=alpha, backbone_plan=backbone_plan)
+    )
 
     if spec.method == "gdb":
         config = GDBConfig(h=h, tau=tau, k=spec.k, relative=spec.relative)
-        return gdb(graph, alpha=alpha, config=config,
+        return gdb(graph, config=config,
                    backbone_method=backbone_method, rng=rng, name=label,
-                   engine=engine)
+                   engine=engine, **seed_kwargs)
     if spec.method == "emd":
         if spec.k != 1:
             raise ValueError("EMD is defined for k = 1 only (paper section 5)")
         config = EMDConfig(h=h, tau=tau, relative=spec.relative)
-        return emd(graph, alpha=alpha, config=config,
+        return emd(graph, config=config,
                    backbone_method=backbone_method, rng=rng, name=label,
-                   engine=engine)
+                   engine=engine, **seed_kwargs)
     if spec.method == "lp":
-        return lp_sparsify(graph, alpha=alpha,
-                           backbone_method=backbone_method, rng=rng, name=label)
+        return lp_sparsify(graph, backbone_method=backbone_method, rng=rng,
+                           name=label, **seed_kwargs)
     if spec.method == "ni":
         from repro.baselines.ni import ni_sparsify
 

@@ -20,7 +20,7 @@ from repro.experiments.common import (
 )
 from repro.experiments.ascii_plot import render_chart
 from repro.experiments.fig01 import run_fig01
-from repro.experiments.fig04 import run_fig04a, run_fig04b
+from repro.experiments.fig04 import run_fig04, run_fig04a, run_fig04b
 from repro.experiments.fig05 import run_fig05
 from repro.experiments.fig06 import run_fig06
 from repro.experiments.fig07 import run_fig07
@@ -45,6 +45,7 @@ __all__ = [
     "TINY",
     "render_chart",
     "run_fig01",
+    "run_fig04",
     "run_fig04a",
     "run_fig04b",
     "run_fig05",

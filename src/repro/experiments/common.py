@@ -173,6 +173,18 @@ def timed(fn, *args, **kwargs) -> tuple[object, float]:
     return result, time.perf_counter() - start
 
 
+def plan_for_variant(plan, variant: str):
+    """``plan`` if ``variant`` is backbone-seeded (GDB/EMD/LP), else ``None``.
+
+    The comparison drivers mix backbone-seeded variants with the NI/SP
+    benchmark methods, which take no backbone; this keeps one
+    ``sparsify(..., backbone_plan=plan_for_variant(plan, v))`` call site.
+    """
+    from repro.core.sparsify import parse_variant
+
+    return plan if parse_variant(variant).method in ("gdb", "emd", "lp") else None
+
+
 def geometric_mean(values) -> float:
     """Geometric mean, ignoring non-positive entries (log-scale summaries)."""
     arr = np.asarray([v for v in values if v > 0], dtype=np.float64)

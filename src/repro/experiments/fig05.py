@@ -9,13 +9,16 @@ Sweeps ``h in {0, 0.01, 0.05, 0.1, 0.5, 1}``:
 The paper picks ``h = 0.05`` as the balanced default.
 
 The sweep runs through :func:`repro.core.grid.gdb_grid`, which builds
-the CSR state once for the whole grid and one backbone + sweep plan per
-alpha (shared across every ``h``), instead of rebuilding everything per
-grid point.
+the CSR state and one :class:`~repro.core.backbone.BackbonePlan` once
+for the whole grid — the maximum-spanning-forest peels are shared
+across *alphas*, each alpha's backbone is a peel-prefix slice plus its
+seeded top-up, and one backbone + sweep plan per alpha is shared across
+every ``h`` — instead of rebuilding everything per grid point.
 """
 
 from __future__ import annotations
 
+from repro.core.backbone import BackbonePlan
 from repro.core.grid import gdb_grid
 from repro.experiments.common import (
     ExperimentScale,
@@ -45,10 +48,10 @@ def run_fig05(
         headers=["h"] + [f"{int(a * 100)}%" for a in scale.alphas],
         notes="larger h -> better MAE but higher entropy; paper picks h=0.05",
     )
-    # One state for the grid, one backbone + plan per alpha, shared
-    # across h values so the sweep isolates h.  Cells are reduced to
-    # their two metrics on the spot, so only one materialised graph is
-    # alive at a time.
+    # One state + one backbone plan for the grid, one backbone + sweep
+    # plan per alpha, shared across h values so the sweep isolates h.
+    # Cells are reduced to their two metrics on the spot, so only one
+    # materialised graph is alive at a time.
     def to_metrics(cell):
         return (
             degree_discrepancy_mae(graph, cell.graph),
@@ -62,6 +65,7 @@ def run_fig05(
         rng=seed,
         engine=engine,
         consume=to_metrics,
+        backbone_plan=BackbonePlan(graph),
     )
     for h in h_values:
         mae_row: list = [h]

@@ -10,6 +10,7 @@ usually by orders of magnitude; NI is closest to competitive on Twitter
 from __future__ import annotations
 
 from repro.core import sparsify
+from repro.core.backbone import BackbonePlan
 from repro.core.uncertain_graph import UncertainGraph
 from repro.experiments.common import (
     REPRESENTATIVE_EMD,
@@ -19,6 +20,7 @@ from repro.experiments.common import (
     SMALL,
     make_flickr_proxy,
     make_twitter_proxy,
+    plan_for_variant,
 )
 from repro.metrics import (
     degree_discrepancy_mae,
@@ -38,6 +40,9 @@ def structural_comparison(
 ) -> tuple[ResultTable, ResultTable]:
     """Degree-MAE and cut-MAE tables (method x alpha) for one dataset."""
     n = graph.number_of_vertices()
+    # One backbone plan per dataset: the GDB/EMD variants share their
+    # per-(method, alpha) seed backbones instead of re-running Kruskal.
+    plan = BackbonePlan(graph)
     cut_sets = sample_cut_sets(n, samples_per_k=scale.cut_samples_per_k, rng=seed)
     degree = ResultTable(
         title=f"Fig. 6 — MAE of delta_A(u) ({graph.name})",
@@ -52,7 +57,8 @@ def structural_comparison(
         cut_row: list = [method]
         for alpha in scale.alphas:
             sparsified = sparsify(
-                graph, alpha, variant=method, rng=seed, engine=engine
+                graph, alpha, variant=method, rng=seed, engine=engine,
+                backbone_plan=plan_for_variant(plan, method),
             )
             degree_row.append(degree_discrepancy_mae(graph, sparsified))
             cut_row.append(

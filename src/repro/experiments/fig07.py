@@ -11,8 +11,14 @@ slowest.
 from __future__ import annotations
 
 from repro.core import sparsify
+from repro.core.backbone import BackbonePlan
 from repro.datasets import densify, flickr_like
-from repro.experiments.common import ExperimentScale, ResultTable, SMALL
+from repro.experiments.common import (
+    ExperimentScale,
+    ResultTable,
+    SMALL,
+    plan_for_variant,
+)
 from repro.experiments.fig06 import COMPARISON_METHODS
 from repro.metrics import (
     degree_discrepancy_mae,
@@ -53,12 +59,15 @@ def run_fig07(
         )
         for d, g in graphs.items()
     }
+    # One backbone plan per density level, shared across methods.
+    plans = {d: BackbonePlan(g) for d, g in graphs.items()}
     for method in COMPARISON_METHODS:
         degree_row: list = [method]
         cut_row: list = [method]
         for density, graph in graphs.items():
             sparsified = sparsify(
-                graph, alpha, variant=method, rng=seed, engine=engine
+                graph, alpha, variant=method, rng=seed, engine=engine,
+                backbone_plan=plan_for_variant(plans[density], method),
             )
             degree_row.append(degree_discrepancy_mae(graph, sparsified))
             cut_row.append(

@@ -10,6 +10,7 @@ across density.
 from __future__ import annotations
 
 from repro.core import sparsify
+from repro.core.backbone import BackbonePlan
 from repro.core.uncertain_graph import UncertainGraph
 from repro.experiments.common import (
     ExperimentScale,
@@ -17,6 +18,7 @@ from repro.experiments.common import (
     SMALL,
     make_flickr_proxy,
     make_twitter_proxy,
+    plan_for_variant,
 )
 from repro.experiments.fig06 import COMPARISON_METHODS
 from repro.experiments.fig07 import make_density_sweep
@@ -32,11 +34,13 @@ def entropy_vs_alpha(
         title=f"Fig. 8 — relative entropy H(G')/H(G) ({graph.name})",
         headers=["method"] + [f"{int(a * 100)}%" for a in scale.alphas],
     )
+    plan = BackbonePlan(graph)
     for method in COMPARISON_METHODS:
         row: list = [method]
         for alpha in scale.alphas:
             sparsified = sparsify(
-                graph, alpha, variant=method, rng=seed, engine=engine
+                graph, alpha, variant=method, rng=seed, engine=engine,
+                backbone_plan=plan_for_variant(plan, method),
             )
             row.append(relative_entropy(sparsified, graph))
         table.rows.append(row)
@@ -54,11 +58,13 @@ def entropy_vs_density(
         headers=["method"] + [f"{int(d * 100)}%" for d in scale.densities],
         notes="paper: roughly constant across density",
     )
+    plans = {d: BackbonePlan(g) for d, g in graphs.items()}
     for method in COMPARISON_METHODS:
         row: list = [method]
-        for graph in graphs.values():
+        for density, graph in graphs.items():
             sparsified = sparsify(
-                graph, alpha, variant=method, rng=seed, engine=engine
+                graph, alpha, variant=method, rng=seed, engine=engine,
+                backbone_plan=plan_for_variant(plans[density], method),
             )
             row.append(relative_entropy(sparsified, graph))
         table.rows.append(row)

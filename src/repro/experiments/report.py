@@ -19,8 +19,7 @@ from repro.experiments import (
     TINY,
     render_chart,
     run_fig01,
-    run_fig04a,
-    run_fig04b,
+    run_fig04,
     run_fig05,
     run_fig06,
     run_fig07,
@@ -57,8 +56,9 @@ def generate_report(scale: ExperimentScale = TINY, chart: bool = True) -> str:
 
     add("Fig. 1 — introductory example", run_fig01(), plot=False)
     add("Table 2 — variant sweep", run_table2(scale))
-    add("Fig. 4(a) — cut discrepancy", run_fig04a(scale))
-    add("Fig. 4(b) — LP/GDB/EMD time", run_fig04b(scale))
+    fig04a, fig04b = run_fig04(scale)  # both panels, one backbone plan
+    add("Fig. 4(a) — cut discrepancy", fig04a)
+    add("Fig. 4(b) — LP/GDB/EMD time", fig04b)
     add("Fig. 5 — entropy parameter h", *run_fig05(scale))
     for name, (degree, cuts) in run_fig06(scale).items():
         add(f"Fig. 6 — structural comparison ({name})", degree, cuts)

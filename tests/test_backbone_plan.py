@@ -1,0 +1,323 @@
+"""BackbonePlan: nested peels, seeded bit-identity, plan threading."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GDBConfig, UncertainGraph, gdb, gdb_grid, sparsify
+from repro.core.backbone import (
+    BackbonePlan,
+    backbone_as_list,
+    bgi_backbone,
+    bgi_backbone_legacy,
+    build_backbone,
+    local_degree_backbone,
+    random_backbone,
+    target_edge_count,
+)
+from repro.core.emd_sparsifier import emd
+from repro.core.lp import lp_sparsify
+from repro.datasets import flickr_like, twitter_like
+from repro.utils.unionfind import UnionFind
+
+ALPHAS = (0.3, 0.45, 0.6, 0.85)
+
+
+@pytest.fixture
+def graph():
+    return flickr_like(n=70, avg_degree=12, seed=4)
+
+
+@pytest.fixture
+def plan(graph):
+    return BackbonePlan(graph)
+
+
+class TestSeededEquivalence:
+    """Plan-based construction is bit-identical to the legacy builder."""
+
+    @pytest.mark.parametrize("alpha", ALPHAS)
+    @pytest.mark.parametrize("seed", [0, 7, 1234])
+    def test_bgi_matches_legacy(self, graph, plan, alpha, seed):
+        legacy = bgi_backbone_legacy(graph, alpha, rng=seed)
+        assert np.array_equal(plan.backbone(alpha, rng=seed), legacy)
+        assert np.array_equal(bgi_backbone(graph, alpha, rng=seed), legacy)
+
+    def test_reuse_does_not_perturb_draws(self, graph, plan):
+        # Warm the plan with other alphas/seeds first: the MC top-up for
+        # a given (alpha, seed) must not depend on plan history.
+        for alpha in ALPHAS:
+            plan.backbone(alpha, rng=99)
+        for seed in (0, 7):
+            for alpha in ALPHAS:
+                assert np.array_equal(
+                    plan.backbone(alpha, rng=seed),
+                    bgi_backbone_legacy(graph, alpha, rng=seed),
+                )
+
+    def test_generator_rng_draws_sequentially(self, graph, plan):
+        seq_plan = [
+            plan.backbone(a, rng=rng)
+            for rng in [np.random.default_rng(3)]
+            for a in ALPHAS
+        ]
+        rng = np.random.default_rng(3)
+        seq_legacy = [bgi_backbone_legacy(graph, a, rng=rng) for a in ALPHAS]
+        for got, want in zip(seq_plan, seq_legacy):
+            assert np.array_equal(got, want)
+
+    def test_spanning_knobs_forwarded(self, graph, plan):
+        for kwargs in (
+            dict(spanning_fraction=0.0),
+            dict(max_forests=1),
+            dict(spanning_fraction=0.9, max_forests=3),
+        ):
+            assert np.array_equal(
+                bgi_backbone(graph, 0.5, rng=2, plan=plan, **kwargs),
+                bgi_backbone_legacy(graph, 0.5, rng=2, **kwargs),
+            )
+
+    def test_random_and_local_degree_ride_the_plan(self, graph, plan):
+        for alpha in (0.25, 0.6):
+            assert np.array_equal(
+                plan.backbone(alpha, method="random", rng=11),
+                random_backbone(graph, alpha, rng=11),
+            )
+            assert np.array_equal(
+                plan.backbone(alpha, method="local_degree"),
+                local_degree_backbone(graph, alpha),
+            )
+
+    def test_t_bundle_falls_back(self, graph, plan):
+        via_plan = build_backbone(graph, 0.4, method="t_bundle", rng=5,
+                                  plan=plan)
+        direct = build_backbone(graph, 0.4, method="t_bundle", rng=5)
+        assert np.array_equal(via_plan, direct)
+
+    def test_int_seed_backbones_memoised(self, graph, plan):
+        a = plan.backbone(0.4, rng=8)
+        b = plan.backbone(0.4, rng=8)
+        assert a is b
+        assert plan.backbone(0.4, rng=9) is not a
+
+
+class TestNestedInvariants:
+    def test_forest_prefix_nested_across_alphas(self, plan):
+        prev = plan.forest_prefix(ALPHAS[0])
+        for alpha in ALPHAS[1:]:
+            cur = plan.forest_prefix(alpha)
+            assert len(cur) >= len(prev)
+            assert np.array_equal(cur[: len(prev)], prev)
+            prev = cur
+
+    def test_smaller_alpha_prefix_within_larger_backbone_ranks(self, plan):
+        # The alpha_1 forest prefix lands inside the alpha_2 backbone,
+        # and every prefix edge carries a forest-peel rank.
+        small = plan.forest_prefix(ALPHAS[0])
+        big = set(plan.backbone(ALPHAS[-1], rng=0).tolist())
+        assert set(small.tolist()) <= big
+        assert (plan.peel_rank[small] > 0).all()
+
+    def test_peel_ranks_label_forests(self, graph, plan):
+        plan.ensure_forests(3)
+        for index in range(plan.forests_computed):
+            forest = plan.forest(index)
+            assert (plan.peel_rank[forest] == index + 1).all()
+        # Ranks partition: computed forests are disjoint.
+        labelled = np.flatnonzero(plan.peel_rank)
+        forests = np.concatenate(
+            [plan.forest(i) for i in range(plan.forests_computed)]
+        )
+        assert sorted(forests.tolist()) == sorted(labelled.tolist())
+        assert len(np.unique(forests)) == len(forests)
+
+    def test_each_peel_is_a_maximal_spanning_forest(self, graph, plan):
+        """Connectivity guarantee per peel: forest k spans every component
+        of the residual graph (all edges minus peels 1..k-1), acyclically."""
+        plan.ensure_forests(4)
+        edge_vertices = plan.edge_vertices
+        residual = np.arange(plan.m)
+        for index in range(plan.forests_computed):
+            forest = plan.forest(index)
+            # Acyclic: every forest edge merges two components.
+            uf = UnionFind(plan.n)
+            for eid in forest:
+                u, v = edge_vertices[eid]
+                assert uf.union(int(u), int(v))
+            # Maximal: adding any other residual edge closes a cycle.
+            rest = np.setdiff1d(residual, forest, assume_unique=True)
+            for eid in rest:
+                u, v = edge_vertices[eid]
+                assert uf.connected(int(u), int(v))
+            residual = rest
+
+    def test_peel_one_keeps_backbone_connected(self, graph, plan):
+        ids = plan.backbone(0.4, rng=0)
+        edge_list = graph.edge_list()
+        probs = graph.probability_array()
+        sub = graph.subgraph_with_edges(
+            (edge_list[e][0], edge_list[e][1], float(probs[e])) for e in ids
+        )
+        assert sub.is_connected()
+
+    def test_full_decomposition_assigns_every_edge(self, plan):
+        plan.ensure_forests(plan.m)  # decompose to exhaustion
+        assert (plan.peel_rank > 0).all()
+        sizes = [len(plan.forest(i)) for i in range(plan.forests_computed)]
+        assert sum(sizes) == plan.m
+        # Peels shrink (weakly): later residual graphs are sparser.
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+
+
+class TestNormalisedReturns:
+    def test_builders_return_read_only_int64(self, graph, plan):
+        results = [
+            bgi_backbone(graph, 0.4, rng=0),
+            bgi_backbone_legacy(graph, 0.4, rng=0),
+            random_backbone(graph, 0.4, rng=0),
+            local_degree_backbone(graph, 0.4),
+            build_backbone(graph, 0.4, method="t_bundle", rng=0),
+            plan.backbone(0.4, rng=0),
+            plan.forest_prefix(0.4),
+        ]
+        for ids in results:
+            assert isinstance(ids, np.ndarray)
+            assert ids.dtype == np.int64
+            assert not ids.flags.writeable
+
+    def test_backbone_as_list_shim_warns(self, graph):
+        ids = bgi_backbone(graph, 0.4, rng=0)
+        with pytest.warns(DeprecationWarning):
+            as_list = backbone_as_list(ids)
+        assert as_list == [int(e) for e in ids]
+        assert all(type(e) is int for e in as_list)
+
+
+class TestPlanThreading:
+    def test_gdb_emd_lp_accept_plan(self, graph, plan):
+        for fn in (gdb, emd, lp_sparsify):
+            direct = fn(graph, alpha=0.4, rng=6)
+            planned = fn(graph, alpha=0.4, rng=6, backbone_plan=plan)
+            assert planned.isomorphic_probabilities(direct, tol=0.0)
+
+    def test_sparsify_accepts_plan(self, graph, plan):
+        for variant in ("GDB^A-t", "EMD^R-t", "GDB^R", "LP-t"):
+            direct = sparsify(graph, 0.4, variant=variant, rng=6)
+            planned = sparsify(graph, 0.4, variant=variant, rng=6,
+                               backbone_plan=plan)
+            assert planned.isomorphic_probabilities(direct, tol=0.0)
+
+    def test_sparsify_precomputed_backbone(self, graph, plan):
+        ids = plan.backbone(0.4, rng=6)
+        direct = sparsify(graph, 0.4, variant="GDB^A-t", rng=6)
+        seeded = sparsify(graph, 0.4, variant="GDB^A-t", rng=6, backbone=ids)
+        assert seeded.isomorphic_probabilities(direct, tol=0.0)
+
+    def test_sparsify_rejects_plan_for_benchmarks(self, graph, plan):
+        with pytest.raises(ValueError):
+            sparsify(graph, 0.4, variant="NI", rng=0, backbone_plan=plan)
+        with pytest.raises(ValueError):
+            sparsify(graph, 0.4, variant="RANDOM", rng=0,
+                     backbone=np.arange(3))
+
+    def test_sparsify_rejects_backbone_plus_plan(self, graph, plan):
+        with pytest.raises(ValueError):
+            sparsify(graph, 0.4, variant="GDB^A", rng=0,
+                     backbone_plan=plan, backbone=np.arange(3))
+
+    def test_plan_for_other_graph_rejected(self, graph):
+        other = twitter_like(n=50, avg_degree=8, seed=1)
+        stale = BackbonePlan(other)
+        with pytest.raises(ValueError):
+            gdb(graph, alpha=0.4, rng=0, backbone_plan=stale)
+        with pytest.raises(ValueError):
+            build_backbone(graph, 0.4, rng=0, plan=stale)
+        with pytest.raises(ValueError):
+            gdb_grid(graph, alphas=(0.4,), h_values=(0.05,), rng=0,
+                     backbone_plan=stale)
+
+    def test_plan_with_explicit_backbone_ids_rejected(self, graph, plan):
+        ids = plan.backbone(0.4, rng=0)
+        with pytest.raises(ValueError):
+            gdb(graph, backbone_ids=ids, backbone_plan=plan)
+
+
+class TestGridLadder:
+    def test_grid_backbones_bit_identical_to_independent_builds(self, graph):
+        alphas = (0.35, 0.5)
+        h_values = (0.0, 0.05, 1.0)
+        cells = gdb_grid(
+            graph, alphas=alphas, h_values=h_values, rng=9,
+            build_graphs=False,
+        )
+        for (alpha, h), cell in cells.items():
+            assert np.array_equal(
+                cell.backbone, bgi_backbone_legacy(graph, alpha, rng=9)
+            )
+
+    def test_one_plan_serves_whole_ladder(self, graph, plan):
+        alphas = (0.35, 0.5)
+        cells = gdb_grid(
+            graph, alphas=alphas, h_values=(0.05,), rng=9,
+            build_graphs=False, backbone_plan=plan,
+        )
+        # The plan memoises per (alpha, seed): grid backbones are the
+        # exact arrays the plan hands to direct calls.
+        for (alpha, h), cell in cells.items():
+            assert cell.backbone is plan.backbone(alpha, rng=9)
+
+    def test_consume_receives_backbone_ids(self, graph):
+        seen = {}
+
+        def consume(cell):
+            seen[(cell.alpha, cell.h)] = cell.backbone
+            return cell.objective
+
+        gdb_grid(
+            graph, alphas=(0.4,), h_values=(0.0, 1.0), rng=4,
+            build_graphs=False, consume=consume,
+        )
+        expected = bgi_backbone_legacy(graph, 0.4, rng=4)
+        for ids in seen.values():
+            assert np.array_equal(ids, expected)
+
+    def test_grid_cells_match_plain_gdb_with_plan_backbone(self, graph, plan):
+        cells = gdb_grid(
+            graph, alphas=(0.5,), h_values=(0.05,), rng=2,
+            backbone_plan=plan,
+        )
+        cell = cells[(0.5, 0.05)]
+        direct = gdb(
+            graph, backbone_ids=cell.backbone, config=GDBConfig(h=0.05),
+        )
+        assert cell.graph.isomorphic_probabilities(direct, tol=0.0)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(0, 500),
+    alpha=st.floats(min_value=0.3, max_value=0.9),
+)
+def test_property_plan_matches_legacy(seed, alpha):
+    graph = flickr_like(n=40, avg_degree=10, seed=seed % 4)
+    plan = BackbonePlan(graph)
+    assert np.array_equal(
+        plan.backbone(alpha, rng=seed),
+        bgi_backbone_legacy(graph, alpha, rng=seed),
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 200),
+    lo=st.floats(min_value=0.3, max_value=0.55),
+    hi=st.floats(min_value=0.6, max_value=0.95),
+)
+def test_property_forest_prefix_nesting(seed, lo, hi):
+    graph = twitter_like(n=40, avg_degree=10, seed=seed % 3)
+    plan = BackbonePlan(graph)
+    small = plan.forest_prefix(lo)
+    big = plan.forest_prefix(hi)
+    assert np.array_equal(big[: len(small)], small)
+    assert len(small) <= target_edge_count(graph.number_of_edges(), lo)

@@ -64,6 +64,73 @@ def test_sparsify_bad_variant_fails(graph_file, tmp_path, capsys):
         ])
 
 
+class TestBackbonePlanFlag:
+    def test_plan_output_identical_to_direct(self, graph_file, tmp_path):
+        direct = tmp_path / "direct.txt"
+        planned = tmp_path / "planned.txt"
+        base = ["--alpha", "0.4", "--variant", "GDB^A-t", "--seed", "3"]
+        assert main(["sparsify", str(graph_file), str(direct)] + base) == 0
+        assert main(
+            ["sparsify", str(graph_file), str(planned)] + base
+            + ["--backbone-plan"]
+        ) == 0
+        assert direct.read_text() == planned.read_text()
+
+    def test_alpha_ladder_with_template(self, graph_file, tmp_path, capsys):
+        template = tmp_path / "out-{alpha}.txt"
+        code = main([
+            "sparsify", str(graph_file), str(template),
+            "--alpha", "0.3,0.5", "--variant", "GDB^A-t", "--seed", "3",
+            "--backbone-plan",
+        ])
+        assert code == 0
+        original = read_edge_list(graph_file)
+        for alpha in (0.3, 0.5):
+            out = tmp_path / f"out-{alpha:g}.txt"
+            assert read_edge_list(out).number_of_edges() == round(
+                alpha * original.number_of_edges()
+            )
+        assert capsys.readouterr().out.count("H ratio") == 2
+
+    def test_ladder_outputs_match_per_alpha_runs(self, graph_file, tmp_path):
+        template = tmp_path / "ladder-{alpha}.txt"
+        main([
+            "sparsify", str(graph_file), str(template),
+            "--alpha", "0.3,0.5", "--variant", "GDB^A-t", "--seed", "5",
+            "--backbone-plan",
+        ])
+        for alpha in ("0.3", "0.5"):
+            single = tmp_path / f"single-{alpha}.txt"
+            main([
+                "sparsify", str(graph_file), str(single),
+                "--alpha", alpha, "--variant", "GDB^A-t", "--seed", "5",
+            ])
+            ladder = tmp_path / f"ladder-{alpha}.txt"
+            assert ladder.read_text() == single.read_text()
+
+    def test_multi_alpha_requires_template(self, graph_file, tmp_path, capsys):
+        assert main([
+            "sparsify", str(graph_file), str(tmp_path / "out.txt"),
+            "--alpha", "0.3,0.5",
+        ]) == 1
+        assert "{alpha}" in capsys.readouterr().err
+
+    def test_bad_alpha_list(self, graph_file, tmp_path, capsys):
+        assert main([
+            "sparsify", str(graph_file), str(tmp_path / "out.txt"),
+            "--alpha", "0.2,oops",
+        ]) == 1
+        assert "invalid --alpha" in capsys.readouterr().err
+
+    def test_plan_rejected_for_benchmark_variants(self, graph_file, tmp_path,
+                                                  capsys):
+        assert main([
+            "sparsify", str(graph_file), str(tmp_path / "out.txt"),
+            "--alpha", "0.4", "--variant", "NI", "--backbone-plan",
+        ]) == 1
+        assert "--backbone-plan only applies" in capsys.readouterr().err
+
+
 def test_info(graph_file, capsys):
     assert main(["info", str(graph_file)]) == 0
     output = capsys.readouterr().out

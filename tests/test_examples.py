@@ -65,7 +65,14 @@ def test_quickstart_pipeline_at_toy_size():
     from repro.queries import ReliabilityQuery, sample_vertex_pairs
     from repro.sampling import MonteCarloEstimator
 
+    from repro.core import BackbonePlan
+
     graph = datasets.twitter_like(n=60, avg_degree=16, seed=7)
+    plan = BackbonePlan(graph)
+    for alpha in (0.3, 0.5):
+        ladder = sparsify(graph, alpha, variant="GDB^A-t", rng=7,
+                          backbone_plan=plan)
+        assert degree_discrepancy_mae(graph, ladder) < 0.5
     sparse = sparsify(graph, alpha=0.3, variant="EMD^R-t", rng=7)
     assert graph_entropy(sparse) < graph_entropy(graph)
     assert relative_entropy(sparse, graph) < 1.0

@@ -18,8 +18,9 @@ def stubbed(monkeypatch):
 
     monkeypatch.setattr(report_module, "run_fig01", lambda: table("fig1"))
     monkeypatch.setattr(report_module, "run_table2", lambda s: table("t2"))
-    monkeypatch.setattr(report_module, "run_fig04a", lambda s: table("4a"))
-    monkeypatch.setattr(report_module, "run_fig04b", lambda s: table("4b"))
+    monkeypatch.setattr(
+        report_module, "run_fig04", lambda s: (table("4a"), table("4b"))
+    )
     monkeypatch.setattr(
         report_module, "run_fig05", lambda s: (table("5a"), table("5b"))
     )
