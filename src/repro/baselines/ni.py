@@ -24,6 +24,31 @@ one probability is tiny, making the forest-peeling loop quadratic.  We
 clamp the weight scale at ``max_weight`` (default 128) — this only
 coarsens the weight quantisation, not the method's structure — and
 record the choice in DESIGN.md's deviations.
+
+Plan-riding peeler
+------------------
+The forest-peeling trajectory of Algorithm 4 — which edges form each
+forest, and the round at which each edge's weight exhausts — depends
+only on the weights, *not* on ``epsilon`` or the RNG: sampling happens
+at exhaustion time and never alters which edges stay alive.  The
+default ``peeler="plan"`` therefore splits the algorithm into
+
+1. :func:`ni_peel_structure` — one structural pass running every peel as
+   a batched Kruskal sweep on
+   :class:`~repro.utils.unionfind.ArrayUnionFind`, producing the
+   exhaustion order and per-edge exhaustion round; memoised on a
+   :class:`~repro.core.backbone.BackbonePlan` (key
+   ``("ni_peel", max_weight)``), so NI shares its plan cache with BGI
+   and repeated calls (the epsilon calibration loop, alpha ladders) pay
+   for the peels once; and
+2. :func:`ni_core_planned` — per calibration step, one vectorised
+   sampling pass over the exhaustion order.
+
+The planned peeler is bit-identical to the scalar reference
+(``peeler="legacy"``, :func:`ni_core`): the batched Kruskal accepts
+exactly the sequential forest, a block ``rng.random(k)`` draw consumes
+the PCG64 stream exactly like ``k`` scalar draws, and the kept-edge
+dict preserves exhaustion order.
 """
 
 from __future__ import annotations
@@ -32,11 +57,13 @@ import math
 
 import numpy as np
 
-from repro.core.backbone import target_edge_count
+from repro.core.backbone import BackbonePlan, target_edge_count
 from repro.core.uncertain_graph import UncertainGraph
 from repro.exceptions import CalibrationError
 from repro.utils.rng import ensure_rng
-from repro.utils.unionfind import UnionFind
+from repro.utils.unionfind import ArrayUnionFind, UnionFind
+
+NI_PEELERS = ("plan", "legacy")
 
 
 def integer_weights(probabilities: np.ndarray, max_weight: int = 128) -> tuple[np.ndarray, float]:
@@ -105,6 +132,95 @@ def ni_core(
     return kept
 
 
+def ni_peel_structure(
+    n: int,
+    edge_vertices: np.ndarray,
+    weights: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Epsilon/RNG-free peel trajectory of Algorithm 4.
+
+    Runs the forest-peeling rounds of :func:`ni_core` with every
+    union-find pass batched (:meth:`ArrayUnionFind.union_batch` accepts
+    exactly the sequential Kruskal forest, previous-forest candidates
+    first, then the alive edges in ascending id — the reference's
+    ``set`` iteration order; duplicates are rejected as cycles).
+
+    Returns
+    -------
+    (order, rounds):
+        ``order`` — edge ids in exhaustion order (the order the
+        reference draws its sampling randoms); ``rounds`` — the 1-based
+        round at which each edge of ``order`` exhausted.
+    """
+    m = len(weights)
+    remaining = weights.astype(np.int64).copy()
+    alive = np.ones(m, dtype=bool)
+    us = edge_vertices[:, 0]
+    vs = edge_vertices[:, 1]
+    order_parts: list[np.ndarray] = []
+    round_parts: list[np.ndarray] = []
+    previous_forest = np.empty(0, dtype=np.int64)
+    uf = ArrayUnionFind(n)
+    r = 0
+    while alive.any():
+        r += 1
+        uf.reset()
+        candidates = np.concatenate(
+            [previous_forest[alive[previous_forest]], np.flatnonzero(alive)]
+        )
+        accepted = uf.union_batch(us[candidates], vs[candidates])
+        forest = candidates[accepted]
+        if not len(forest):
+            # Mirrors the reference guard: cannot happen in a simple
+            # graph, but never loop forever.
+            break
+        remaining[forest] -= 1
+        exhausted = forest[remaining[forest] == 0]
+        if len(exhausted):
+            order_parts.append(exhausted)
+            round_parts.append(np.full(len(exhausted), r, dtype=np.int64))
+            alive[exhausted] = False
+        previous_forest = forest
+    order = (
+        np.concatenate(order_parts) if order_parts
+        else np.empty(0, dtype=np.int64)
+    )
+    rounds = (
+        np.concatenate(round_parts) if round_parts
+        else np.empty(0, dtype=np.int64)
+    )
+    order.setflags(write=False)
+    rounds.setflags(write=False)
+    return order, rounds
+
+
+def ni_core_planned(
+    n: int,
+    weights: np.ndarray,
+    structure: tuple[np.ndarray, np.ndarray],
+    epsilon: float,
+    rng: np.random.Generator,
+) -> dict[int, float]:
+    """One vectorised sampling pass over a precomputed peel structure.
+
+    Bit-identical to :func:`ni_core` for the same ``rng`` state: the
+    block ``rng.random(len(order))`` draw consumes the generator stream
+    exactly like the reference's per-edge scalar draws (same order —
+    edges exhaust in ``order``), the sampling probabilities repeat the
+    scalar float arithmetic elementwise, and the returned dict lists
+    kept edges in exhaustion order.
+    """
+    order, rounds = structure
+    log_n = math.log(max(n, 2))
+    epsilon_sq = epsilon * epsilon
+    probabilities = np.minimum(log_n / (epsilon_sq * rounds), 1.0)
+    draws = rng.random(len(order))
+    keep = draws < probabilities
+    kept_ids = order[keep]
+    kept_weights = weights[kept_ids] / probabilities[keep]
+    return dict(zip(kept_ids.tolist(), kept_weights.tolist()))
+
+
 def ni_sparsify(
     graph: UncertainGraph,
     alpha: float,
@@ -113,6 +229,8 @@ def ni_sparsify(
     max_calibration_steps: int = 60,
     max_weight: int = 128,
     name: str = "",
+    peeler: str = "plan",
+    backbone_plan: "BackbonePlan | None" = None,
 ) -> UncertainGraph:
     """NI benchmark sparsifier: calibrated Algorithm 4 + MC top-up.
 
@@ -130,6 +248,15 @@ def ni_sparsify(
         Upper bound on calibration retries before giving up.
     max_weight:
         Weight-quantisation cap (see module docstring).
+    peeler:
+        ``"plan"`` (default) computes the peel structure once and runs
+        every calibration step as a vectorised sampling pass;
+        ``"legacy"`` re-peels scalar forests per step (the reference).
+        Both produce bit-identical output for the same seed.
+    backbone_plan:
+        Optional :class:`BackbonePlan` for ``graph``; with
+        ``peeler="plan"`` the peel structure is memoised on it, so NI
+        shares the cache the BGI-seeded sparsifiers already use.
 
     Raises
     ------
@@ -138,6 +265,12 @@ def ni_sparsify(
         ``alpha |E|`` edges (practically unreachable: ``epsilon`` large
         enough keeps nothing).
     """
+    if peeler not in NI_PEELERS:
+        raise ValueError(
+            f"unknown peeler {peeler!r}; expected one of {NI_PEELERS}"
+        )
+    if backbone_plan is not None and backbone_plan.graph is not graph:
+        raise ValueError("backbone plan was built for a different graph")
     rng = ensure_rng(rng)
     m = graph.number_of_edges()
     n = graph.number_of_vertices()
@@ -146,10 +279,23 @@ def ni_sparsify(
     probabilities = np.array(graph.probability_array())
     weights, scale = integer_weights(probabilities, max_weight=max_weight)
 
+    if peeler == "plan":
+        plan = backbone_plan if backbone_plan is not None else BackbonePlan(graph)
+        structure = plan.cached(
+            ("ni_peel", max_weight),
+            lambda: ni_peel_structure(n, edge_vertices, weights),
+        )
+
+        def run_core(eps: float) -> dict[int, float]:
+            return ni_core_planned(n, weights, structure, eps, rng)
+    else:
+        def run_core(eps: float) -> dict[int, float]:
+            return ni_core(n, edge_vertices, weights, eps, rng)
+
     log_n = math.log(max(n, 2))
     epsilon = math.sqrt(max(n * log_n * log_n / (alpha * m), 1e-12))
 
-    kept = ni_core(n, edge_vertices, weights, epsilon, rng)
+    kept = run_core(epsilon)
     steps = 0
     if len(kept) > target:
         # Too many edges: grow epsilon until the output first fits.
@@ -160,14 +306,14 @@ def ni_sparsify(
                     f"NI failed to calibrate epsilon below budget {target}"
                 )
             epsilon *= theta
-            kept = ni_core(n, edge_vertices, weights, epsilon, rng)
+            kept = run_core(epsilon)
     else:
         # Fewer: shrink epsilon while the output still fits; keep the last fit.
         best = kept
         while steps < max_calibration_steps:
             steps += 1
             epsilon /= theta
-            candidate = ni_core(n, edge_vertices, weights, epsilon, rng)
+            candidate = run_core(epsilon)
             if len(candidate) > target:
                 break
             best = candidate

@@ -79,7 +79,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--backbone-plan", action="store_true",
         help="build one BackbonePlan and reuse it across all alphas "
         "(one Kruskal pass for the whole ladder; outputs are "
-        "bit-identical to per-alpha construction under the same seed)",
+        "bit-identical to per-alpha construction under the same seed; "
+        "NI memoises its forest-peel structure on the plan instead)",
+    )
+    sparsify_cmd.add_argument(
+        "--lp-solver", choices=["highs", "pdp"], default="highs",
+        help="probability solver for LP variants: exact scipy HiGHS "
+        "(default) or the first-order primal-dual projection solver",
+    )
+    sparsify_cmd.add_argument(
+        "--emd-mode", choices=["eager", "lazy"], default="eager",
+        help="EMD E-phase heap discipline: eager indexed heap (default, "
+        "bit-identity reference) or lazy deferred maintenance "
+        "(converged-objective equivalent, faster)",
     )
 
     info_cmd = sub.add_parser("info", help="print graph statistics")
@@ -181,9 +193,9 @@ def _cmd_sparsify(args: argparse.Namespace) -> int:
     if args.backbone_plan:
         from repro.core import BackbonePlan, parse_variant
 
-        if parse_variant(args.variant).method not in ("gdb", "emd", "lp"):
+        if parse_variant(args.variant).method not in ("gdb", "emd", "lp", "ni"):
             raise ReproError(
-                f"--backbone-plan only applies to GDB/EMD/LP variants, "
+                f"--backbone-plan only applies to GDB/EMD/LP/NI variants, "
                 f"not {args.variant!r}"
             )
         plan = BackbonePlan(graph)
@@ -191,6 +203,7 @@ def _cmd_sparsify(args: argparse.Namespace) -> int:
         sparsified = sparsify(
             graph, alpha, variant=args.variant, rng=args.seed,
             h=args.entropy_h, engine=args.engine, backbone_plan=plan,
+            lp_solver=args.lp_solver, emd_mode=args.emd_mode,
         )
         output = args.output.replace("{alpha}", f"{alpha:g}")
         write_edge_list(sparsified, output)

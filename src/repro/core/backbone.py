@@ -232,6 +232,19 @@ class BackbonePlan:
         self._local_degree_order: "np.ndarray | None" = None
         self._cache: dict = {}
 
+    def cached(self, key, factory):
+        """Memoise arbitrary per-graph derived data on the plan.
+
+        Generic companion of the seeded backbone memo: algorithms whose
+        preprocessing depends only on the graph (e.g. the NI peel
+        structure, keyed ``("ni_peel", max_weight)``) park it here so
+        every caller sharing the plan shares the work.  ``factory`` runs
+        at most once per ``key``.
+        """
+        if key not in self._cache:
+            self._cache[key] = factory()
+        return self._cache[key]
+
     # -- nested forest peels ----------------------------------------------
     @property
     def peel_rank(self) -> np.ndarray:

@@ -24,6 +24,22 @@ computation — same candidate order, same tie-breaking, bit-identical
 selections.  The vector engine's M-phase runs GDB's fused sequential
 sweep (same edge order and arithmetic as the reference loop), so the
 whole of vector EMD reproduces loop EMD exactly, only faster.
+
+Orthogonally, ``emd_mode`` picks the E-phase *outer-loop* heap
+discipline:
+
+- ``"eager"`` (default, the reference): every removal/insertion updates
+  the endpoint keys of an :class:`~repro.utils.heap.IndexedMaxHeap` in
+  place — four O(log n) sifts per swapped edge.
+- ``"lazy"``: a :class:`~repro.utils.heap.LazyMaxHeap` defers the
+  updates — the endpoints dirtied by an insertion and the following
+  removal share one vectorised magnitude rescan at the next peek, stale
+  keys are discarded lazily as upper bounds, and the per-iteration heap
+  build is a single C ``heapify`` over the delta array instead of an
+  O(n) Python dict.  The peeked vertex is still the exact
+  max-discrepancy argmax; only *ties* may break differently (smallest
+  vertex id instead of heap order), so the lazy engine is gated on
+  converged-objective equivalence rather than bit identity.
 """
 
 from __future__ import annotations
@@ -43,7 +59,18 @@ from repro.core.rules import (
     degree_step_relative_array,
 )
 from repro.core.uncertain_graph import UncertainGraph
-from repro.utils.heap import IndexedMaxHeap
+from repro.utils.heap import IndexedMaxHeap, LazyMaxHeap
+
+#: E-phase outer-loop heap disciplines (see module docstring).
+EMD_MODES = ("eager", "lazy")
+
+
+def _validate_emd_mode(emd_mode: str) -> str:
+    if emd_mode not in EMD_MODES:
+        raise ValueError(
+            f"unknown emd_mode {emd_mode!r}; expected one of {EMD_MODES}"
+        )
+    return emd_mode
 
 
 @dataclass(frozen=True)
@@ -227,6 +254,137 @@ def _e_phase_vector(state: SparsificationState, heap: IndexedMaxHeap,
     return swaps
 
 
+def _e_phase_lazy(state: SparsificationState, heap: LazyMaxHeap,
+                  config: EMDConfig) -> int:
+    """Edge swapping with deferred heap maintenance and fused scoring.
+
+    The endpoint discrepancies dirtied by a removal (and by the previous
+    iteration's insertion) are only *marked* with
+    :meth:`LazyMaxHeap.defer`; the peek before the candidate scan
+    flushes them in one batched magnitude rescan.  The peeked vertex is
+    still the exact argmax of ``|delta|`` — only exact-float ties at the
+    top may resolve to a different vertex than the eager heap.
+
+    Freed from bit identity, the per-removal work is fused: the
+    membership bookkeeping of ``deselect_edge`` / ``select_edge`` is
+    inlined on the state arrays, the removed edge's incumbent scores are
+    scalar Python, the candidate scan shares one endpoint gather between
+    the step rule and the gain, and the gain uses the algebraic
+    reduction of Eq. 10::
+
+        g = delta_u^2 - (delta_u - w)^2 + delta_v^2 - (delta_v - w)^2
+          = 2 w (delta_u + delta_v - w)
+
+    Equal in exact arithmetic, different in float rounding — another
+    reason the lazy engine is gated on converged-objective equivalence
+    rather than bit identity.  Candidate probabilities replicate
+    ``clamp_and_attenuate`` element-for-element (with ``current = 0``:
+    every candidate is unselected).
+    """
+    relative = config.relative
+    h = config.h
+    delta = state.delta
+    phat = state.phat
+    p_original = state.p_original
+    selected = state.selected
+    edge_vertices = state.edge_vertices
+    endpoint_list = edge_vertices.tolist()
+    original_degrees = state.original_degrees
+    degree_list = original_degrees.tolist()
+    total_residual = state.total_residual
+    swaps = 0
+    for eid in state.selected_edge_ids().tolist():
+        u, v = endpoint_list[eid]
+        # Inlined state.deselect_edge(eid).
+        previous_p = float(phat[eid])
+        phat[eid] = 0.0
+        selected[eid] = False
+        delta[u] += previous_p
+        delta[v] += previous_p
+        total_residual += previous_p
+        heap.defer(u, v)
+
+        top_vertex = heap.peek()
+        incident = state.incident_edges(top_vertex)
+        candidates = incident[~selected[incident]]
+
+        # The removed edge competes both at its rule-optimal probability
+        # and at the probability it already had (scalar fused mirror of
+        # _best_probability / _gain).
+        du = float(delta[u])
+        dv = float(delta[v])
+        s_e = du + dv
+        if relative:
+            pi_u = degree_list[u]
+            pi_v = degree_list[v]
+            denominator = pi_u + pi_v
+            step = (pi_v * du + pi_u * dv) / denominator if denominator > 0.0 else 0.0
+        else:
+            step = 0.5 * s_e
+        if step < 0.0:
+            p_opt = 0.0
+        elif step > 1.0:
+            p_opt = 1.0
+        else:
+            original = float(p_original[eid])
+            if abs(step - 0.5) < abs(original - 0.5):
+                p_opt = min(max(original + h * step, 0.0), 1.0)
+            else:
+                p_opt = step
+        # Half-gains throughout: g/2 = w (s - w) preserves every argmax
+        # and comparison, one multiply cheaper per batch.
+        best_eid = eid
+        best_p = p_opt
+        best_gain = p_opt * (s_e - p_opt)
+        keep_gain = previous_p * (s_e - previous_p)
+        if keep_gain > best_gain:
+            best_gain, best_p = keep_gain, previous_p
+
+        if len(candidates):
+            uv = edge_vertices[candidates]
+            d_u = delta[uv[:, 0]]
+            d_v = delta[uv[:, 1]]
+            s = d_u + d_v
+            if relative:
+                pi_u = original_degrees[uv[:, 0]]
+                pi_v = original_degrees[uv[:, 1]]
+                # Candidates are real edges, so both endpoints carry
+                # positive original expected degree: no zero guard.
+                steps = (pi_v * d_u + pi_u * d_v) / (pi_u + pi_v)
+            else:
+                steps = 0.5 * s
+            originals = p_original[candidates]
+            # Out-of-box steps never trip the guard (|steps - 0.5| > 0.5
+            # >= |originals - 0.5| there), so clamping and attenuation
+            # commute into one where.
+            raises = np.abs(steps - 0.5) < np.abs(originals - 0.5)
+            probs = np.minimum(np.maximum(steps, 0.0), 1.0)
+            if raises.any():
+                attenuated = np.minimum(
+                    np.maximum(originals + h * steps, 0.0), 1.0
+                )
+                probs = np.where(raises, attenuated, probs)
+            gains = probs * (s - probs)
+            top = int(gains.argmax())
+            if float(gains[top]) > best_gain:
+                best_gain = float(gains[top])
+                best_eid = int(candidates[top])
+                best_p = float(probs[top])
+
+        # Inlined state.select_edge(best_eid, probability=best_p).
+        bu, bv = endpoint_list[best_eid]
+        selected[best_eid] = True
+        phat[best_eid] = best_p
+        delta[bu] -= best_p
+        delta[bv] -= best_p
+        total_residual -= best_p
+        if best_eid != eid:
+            swaps += 1
+        heap.defer(bu, bv)
+    state.total_residual = total_residual
+    return swaps
+
+
 def emd(
     graph: UncertainGraph,
     alpha: float | None = None,
@@ -237,6 +395,7 @@ def emd(
     name: str = "",
     engine: str = "vector",
     backbone_plan: "BackbonePlan | None" = None,
+    emd_mode: str = "eager",
 ) -> UncertainGraph:
     """Sparsify ``graph`` with Expectation-Maximization Degree (Algorithm 3).
 
@@ -250,12 +409,23 @@ def emd(
     and runs the M-phase on the fused sequential sweep; the result is
     bit-identical to ``engine="loop"`` (the scalar reference).
 
+    ``emd_mode="lazy"`` (vector engine only) defers the per-swap heap
+    updates into batched vectorised rescans (see the module docstring);
+    it reaches the same converged objective as ``"eager"`` but is only
+    tie-equivalent, not bit-identical.
+
     Returns
     -------
     UncertainGraph
         Sparsified graph with the same edge budget as the backbone.
     """
     engine = _validate_engine(engine)
+    emd_mode = _validate_emd_mode(emd_mode)
+    if emd_mode == "lazy" and engine == "loop":
+        raise ValueError(
+            "emd_mode='lazy' requires the vector engine; "
+            "engine='loop' is the eager bit-identity reference"
+        )
     config = config or EMDConfig()
     backbone_ids = _resolve_backbone(
         graph, alpha, backbone_ids, backbone_method, rng, backbone_plan
@@ -286,10 +456,14 @@ def emd(
     )
     objective = state.d1(relative=config.relative)
     for _ in range(config.max_iterations):
-        heap = IndexedMaxHeap(
-            {v: abs(float(state.delta[v])) for v in range(state.n)}
-        )
-        swaps = e_phase(state, heap, config)   # E-phase: swap edges
+        if emd_mode == "lazy":
+            heap = LazyMaxHeap(state.delta)
+            swaps = _e_phase_lazy(state, heap, config)
+        else:
+            heap = IndexedMaxHeap(
+                {v: abs(float(state.delta[v])) for v in range(state.n)}
+            )
+            swaps = e_phase(state, heap, config)   # E-phase: swap edges
         gdb_refine(state, gdb_config, engine=m_engine)  # M-phase: re-optimise
         new_objective = state.d1(relative=config.relative)
         converged = abs(objective - new_objective) <= config.tau

@@ -101,6 +101,8 @@ def sparsify(
     engine: str = "vector",
     backbone_plan: "BackbonePlan | None" = None,
     backbone: "np.ndarray | list[int] | None" = None,
+    lp_solver: str = "highs",
+    emd_mode: str = "eager",
 ) -> UncertainGraph:
     """Sparsify an uncertain graph with any paper variant.
 
@@ -131,11 +133,22 @@ def sparsify(
         Optional :class:`~repro.core.backbone.BackbonePlan` for
         ``graph``: GDB/EMD/LP variants build their backbone from the
         plan (bit-identical to the per-call builder for the same seed),
-        so one plan serves a whole alpha ladder or variant sweep.
+        and NI memoises its forest-peel structure on it, so one plan
+        serves a whole alpha ladder or variant sweep.
     backbone:
         Optional precomputed backbone edge ids (positions into
         ``graph.edge_list()``), skipping backbone construction entirely.
         Mutually exclusive with ``backbone_plan``.
+    lp_solver:
+        Probability solver for the LP variants: ``"highs"`` (default,
+        the exact scipy reference) or ``"pdp"`` (first-order
+        primal-dual projection; see :func:`repro.core.lp.solve_pdp`).
+        Other variants ignore it.
+    emd_mode:
+        E-phase heap discipline for the EMD variants: ``"eager"``
+        (default, the bit-identity reference) or ``"lazy"`` (deferred
+        batched heap maintenance; converged-objective equivalent).
+        Other variants ignore it.
 
     Returns
     -------
@@ -148,12 +161,15 @@ def sparsify(
     label = name or f"{spec.canonical_name}@{alpha:g}({graph.name})"
     if backbone is not None and backbone_plan is not None:
         raise ValueError("provide at most one of backbone and backbone_plan")
-    if spec.method in ("ni", "sp", "er", "random") and (
-        backbone is not None or backbone_plan is not None
-    ):
+    if spec.method in ("ni", "sp", "er", "random") and backbone is not None:
         raise ValueError(
             f"variant {spec.canonical_name!r} does not take a backbone; "
-            f"backbone/backbone_plan only apply to GDB/EMD/LP"
+            f"precomputed backbones only apply to GDB/EMD/LP"
+        )
+    if spec.method in ("sp", "er", "random") and backbone_plan is not None:
+        raise ValueError(
+            f"variant {spec.canonical_name!r} does not take a backbone plan; "
+            f"backbone_plan applies to GDB/EMD/LP/NI"
         )
     # The iterative methods take exactly one of (alpha, backbone_ids).
     seed_kwargs = (
@@ -173,14 +189,15 @@ def sparsify(
         config = EMDConfig(h=h, tau=tau, relative=spec.relative)
         return emd(graph, config=config,
                    backbone_method=backbone_method, rng=rng, name=label,
-                   engine=engine, **seed_kwargs)
+                   engine=engine, emd_mode=emd_mode, **seed_kwargs)
     if spec.method == "lp":
         return lp_sparsify(graph, backbone_method=backbone_method, rng=rng,
-                           name=label, **seed_kwargs)
+                           name=label, solver=lp_solver, **seed_kwargs)
     if spec.method == "ni":
         from repro.baselines.ni import ni_sparsify
 
-        return ni_sparsify(graph, alpha, rng=rng, name=label)
+        return ni_sparsify(graph, alpha, rng=rng, name=label,
+                           backbone_plan=backbone_plan)
     if spec.method == "sp":
         from repro.baselines.spanner import spanner_sparsify
 

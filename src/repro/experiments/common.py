@@ -174,15 +174,21 @@ def timed(fn, *args, **kwargs) -> tuple[object, float]:
 
 
 def plan_for_variant(plan, variant: str):
-    """``plan`` if ``variant`` is backbone-seeded (GDB/EMD/LP), else ``None``.
+    """``plan`` if ``variant`` can use one (GDB/EMD/LP/NI), else ``None``.
 
-    The comparison drivers mix backbone-seeded variants with the NI/SP
-    benchmark methods, which take no backbone; this keeps one
-    ``sparsify(..., backbone_plan=plan_for_variant(plan, v))`` call site.
+    The comparison drivers mix plan-aware variants (backbone-seeded
+    GDB/EMD/LP, plus NI — which memoises its peel structure on the
+    plan) with the SP/ER benchmark methods, which take none; this keeps
+    one ``sparsify(..., backbone_plan=plan_for_variant(plan, v))`` call
+    site.
     """
     from repro.core.sparsify import parse_variant
 
-    return plan if parse_variant(variant).method in ("gdb", "emd", "lp") else None
+    return (
+        plan
+        if parse_variant(variant).method in ("gdb", "emd", "lp", "ni")
+        else None
+    )
 
 
 def geometric_mean(values) -> float:

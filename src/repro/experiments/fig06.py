@@ -37,6 +37,8 @@ def structural_comparison(
     methods: tuple[str, ...] = COMPARISON_METHODS,
     seed: int = 23,
     engine: str = "vector",
+    lp_solver: str = "highs",
+    emd_mode: str = "eager",
 ) -> tuple[ResultTable, ResultTable]:
     """Degree-MAE and cut-MAE tables (method x alpha) for one dataset."""
     n = graph.number_of_vertices()
@@ -59,6 +61,7 @@ def structural_comparison(
             sparsified = sparsify(
                 graph, alpha, variant=method, rng=seed, engine=engine,
                 backbone_plan=plan_for_variant(plan, method),
+                lp_solver=lp_solver, emd_mode=emd_mode,
             )
             degree_row.append(degree_discrepancy_mae(graph, sparsified))
             cut_row.append(
@@ -73,14 +76,18 @@ def run_fig06(
     scale: ExperimentScale = SMALL,
     seed: int = 23,
     engine: str = "vector",
+    lp_solver: str = "highs",
+    emd_mode: str = "eager",
 ) -> dict[str, tuple[ResultTable, ResultTable]]:
     """Both datasets' structural comparisons, keyed by dataset name."""
     return {
         "flickr": structural_comparison(
-            make_flickr_proxy(scale), scale, seed=seed, engine=engine
+            make_flickr_proxy(scale), scale, seed=seed, engine=engine,
+            lp_solver=lp_solver, emd_mode=emd_mode,
         ),
         "twitter": structural_comparison(
-            make_twitter_proxy(scale), scale, seed=seed, engine=engine
+            make_twitter_proxy(scale), scale, seed=seed, engine=engine,
+            lp_solver=lp_solver, emd_mode=emd_mode,
         ),
     }
 

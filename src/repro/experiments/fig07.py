@@ -41,6 +41,8 @@ def run_fig07(
     alpha: float = 0.16,
     seed: int = 29,
     engine: str = "vector",
+    lp_solver: str = "highs",
+    emd_mode: str = "eager",
 ) -> tuple[ResultTable, ResultTable]:
     """Degree-MAE and cut-MAE vs density at fixed alpha (Fig. 7)."""
     graphs = make_density_sweep(scale, seed=seed)
@@ -68,6 +70,7 @@ def run_fig07(
             sparsified = sparsify(
                 graph, alpha, variant=method, rng=seed, engine=engine,
                 backbone_plan=plan_for_variant(plans[density], method),
+                lp_solver=lp_solver, emd_mode=emd_mode,
             )
             degree_row.append(degree_discrepancy_mae(graph, sparsified))
             cut_row.append(

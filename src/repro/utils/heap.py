@@ -1,4 +1,4 @@
-"""Indexed binary max-heap with update-key.
+"""Indexed binary max-heap with update-key, plus a lazy variant.
 
 EMD (paper Algorithm 3) keeps the vertices of the graph in a max-heap
 ordered by the magnitude of their degree discrepancy ``|delta_A(v)|`` and
@@ -7,11 +7,20 @@ endpoints of an edge after a swap.  ``heapq`` cannot update keys in place,
 so this module provides a classic array-based binary heap with a
 position index, giving O(log n) ``update`` / ``push`` / ``pop`` and O(1)
 ``peek``.
+
+:class:`LazyMaxHeap` is the deferred-update twin used by EMD's lazy
+E-phase engine: priorities live in a numpy array owned by the caller,
+heap entries are stale *upper bounds* cleaned out lazily at peek time,
+and several updates are batched into one vectorised rescan of the dirty
+items instead of one eager sift per change.
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import Hashable, Iterable, Iterator
+
+import numpy as np
 
 
 class IndexedMaxHeap:
@@ -176,3 +185,107 @@ class IndexedMaxHeap:
         for item, pos in self._positions.items():
             if self._items[pos] != item:
                 raise AssertionError(f"position index stale for {item!r}")
+
+
+class LazyMaxHeap:
+    """Deferred-update max-heap over ``|values[i]|`` for dense int items.
+
+    The caller owns ``values`` (e.g. ``SparsificationState.delta``) and
+    mutates it freely; the heap tracks the *magnitudes* ``|values[i]|``.
+    Instead of eagerly re-sifting on every change, the caller marks the
+    touched items with :meth:`defer`; :meth:`peek` first flushes all
+    pending items with **one** vectorised magnitude rescan (so several
+    edge removals/insertions share a single ``np.abs`` gather), then
+    lazily discards stale heap entries.
+
+    Entries are kept as upper bounds: a deferred *decrease* leaves its
+    old (larger) entry in the heap to be popped and refreshed at peek
+    time; an *increase* pushes a new entry.  ``bound[i]`` is always the
+    largest entry for ``i`` still in the heap and ``bound[i] >=
+    |values[i]|``, so the first heap top whose entry matches its current
+    magnitude is the true argmax.
+
+    Ties break towards the smallest item id (heapq tuple order) —
+    deterministic, but *different* from :class:`IndexedMaxHeap`'s
+    heap-order tie-breaking, which is why the lazy EMD engine is gated
+    on converged-objective equivalence rather than bit identity.
+    """
+
+    __slots__ = ("_values", "_bound", "_entries", "_pending")
+
+    def __init__(self, values: np.ndarray) -> None:
+        self._values = values
+        self._bound = np.abs(values).astype(np.float64)
+        # (-magnitude, item) tuples; heapq pops the largest magnitude,
+        # then the smallest item id.
+        self._entries = list(zip((-self._bound).tolist(), range(len(values))))
+        heapq.heapify(self._entries)
+        self._pending: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def defer(self, *items: int) -> None:
+        """Mark items whose value changed; processed at the next peek."""
+        self._pending.extend(items)
+
+    def _flush(self) -> None:
+        pending = self._pending
+        if not pending:
+            return
+        if len(pending) <= 32:
+            # Tiny batches (EMD defers ~4 endpoints between peeks): the
+            # fixed cost of the numpy path exceeds a scalar walk.
+            values = self._values
+            bound = self._bound
+            entries = self._entries
+            for item in pending:
+                magnitude = abs(float(values[item]))
+                if magnitude > bound[item]:
+                    bound[item] = magnitude
+                    heapq.heappush(entries, (-magnitude, item))
+            pending.clear()
+            return
+        idx = np.array(pending, dtype=np.int64)
+        pending.clear()
+        magnitudes = np.abs(self._values[idx])
+        grew = magnitudes > self._bound[idx]
+        if np.any(grew):
+            entries = self._entries
+            bound = self._bound
+            for item, magnitude in zip(
+                idx[grew].tolist(), magnitudes[grew].tolist()
+            ):
+                bound[item] = magnitude
+                heapq.heappush(entries, (-magnitude, item))
+        # Deferred decreases keep their stale upper-bound entries; peek
+        # cleans them out lazily.
+
+    def peek(self) -> int:
+        """Item with the maximum ``|values[item]|`` (exact argmax)."""
+        self._flush()
+        entries = self._entries
+        values = self._values
+        bound = self._bound
+        while True:
+            negated, item = entries[0]
+            magnitude = abs(values[item])
+            if -negated == magnitude:
+                return item
+            # Stale upper bound: refresh this item's entry and retry.
+            heapq.heapreplace(entries, (-magnitude, item))
+            bound[item] = magnitude
+
+    def validate(self) -> None:
+        """Assert the upper-bound invariant (used by tests)."""
+        if self._pending:
+            raise AssertionError("validate() with pending updates")
+        magnitudes = np.abs(self._values)
+        if np.any(self._bound < magnitudes):
+            raise AssertionError("bound fell below a current magnitude")
+        entry_values: dict[int, set[float]] = {}
+        for negated, item in self._entries:
+            entry_values.setdefault(item, set()).add(-negated)
+        for item in range(len(self._values)):
+            if self._bound[item] not in entry_values.get(item, ()):
+                raise AssertionError(f"no entry backing bound of item {item}")

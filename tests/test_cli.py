@@ -124,11 +124,21 @@ class TestBackbonePlanFlag:
 
     def test_plan_rejected_for_benchmark_variants(self, graph_file, tmp_path,
                                                   capsys):
+        # NI accepts a plan (memoised peel structure); SP still refuses.
         assert main([
             "sparsify", str(graph_file), str(tmp_path / "out.txt"),
-            "--alpha", "0.4", "--variant", "NI", "--backbone-plan",
+            "--alpha", "0.4", "--variant", "SP", "--backbone-plan",
         ]) == 1
         assert "--backbone-plan only applies" in capsys.readouterr().err
+
+    def test_plan_accepted_for_ni(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "out-ni.txt"
+        assert main([
+            "sparsify", str(graph_file), str(out),
+            "--alpha", "0.4", "--variant", "NI", "--seed", "3",
+            "--backbone-plan",
+        ]) == 0
+        assert out.exists()
 
 
 def test_info(graph_file, capsys):

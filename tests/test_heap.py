@@ -1,11 +1,11 @@
-"""Indexed max-heap: ordering, update-key, removal, invariants."""
+"""Max-heaps: eager indexed and lazy deferred-update variants."""
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.utils.heap import IndexedMaxHeap
+from repro.utils.heap import IndexedMaxHeap, LazyMaxHeap
 
 
 def test_empty_heap_is_falsy():
@@ -145,3 +145,91 @@ def test_random_stress_against_reference(rng=np.random.default_rng(7)):
             heap.update(item, priority)
             reference[item] = priority
         heap.validate()
+
+
+# ----------------------------------------------------------------------
+# LazyMaxHeap: live-array view, deferred updates, magnitude ordering
+# ----------------------------------------------------------------------
+def _assert_peek_is_argmax(heap, values):
+    top = heap.peek()
+    assert abs(float(values[top])) == float(np.abs(values).max())
+
+
+def test_lazy_peek_returns_max_magnitude():
+    values = np.array([1.0, -5.0, 3.0, 4.5])
+    heap = LazyMaxHeap(values)
+    assert len(heap) == 4
+    assert heap.peek() == 1  # |-5| dominates
+    heap.validate()
+
+
+def test_lazy_sees_inplace_mutations_after_defer():
+    values = np.array([1.0, 2.0, 3.0])
+    heap = LazyMaxHeap(values)
+    values[0] = -10.0  # mutate the live view, then announce it
+    heap.defer(0)
+    assert heap.peek() == 0
+    heap.validate()
+
+
+def test_lazy_decrease_repairs_without_defer():
+    """Decreases leave stale upper bounds; peek lazily repairs them."""
+    values = np.array([9.0, 2.0, 8.0])
+    heap = LazyMaxHeap(values)
+    values[0] = 0.5
+    # No defer needed: bounds only ever overestimate, so peek re-checks.
+    assert heap.peek() == 2
+    heap.validate()
+
+
+def test_lazy_bulk_defer_takes_vector_path():
+    rng = np.random.default_rng(3)
+    values = rng.normal(size=200)
+    heap = LazyMaxHeap(values)
+    values[:100] = rng.normal(size=100) * 10
+    heap.defer(*range(100))  # > 32 pending: vectorised flush
+    _assert_peek_is_argmax(heap, values)
+    heap.validate()
+
+
+def test_lazy_duplicate_defers_are_harmless():
+    values = np.array([1.0, 2.0])
+    heap = LazyMaxHeap(values)
+    values[1] = 7.0
+    heap.defer(1, 1, 1)
+    assert heap.peek() == 1
+    heap.validate()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    initial=st.lists(
+        st.floats(min_value=-100, max_value=100), min_size=1, max_size=40
+    ),
+    mutations=st.lists(
+        st.tuples(st.integers(0, 39), st.floats(min_value=-100, max_value=100)),
+        max_size=60,
+    ),
+)
+def test_property_lazy_peek_tracks_reference(initial, mutations):
+    values = np.array(initial, dtype=np.float64)
+    heap = LazyMaxHeap(values)
+    _assert_peek_is_argmax(heap, values)
+    for item, new_value in mutations:
+        item %= len(values)
+        values[item] = new_value
+        heap.defer(item)
+        _assert_peek_is_argmax(heap, values)
+        heap.validate()
+
+
+def test_lazy_stress_against_reference():
+    rng = np.random.default_rng(11)
+    values = rng.normal(size=60)
+    heap = LazyMaxHeap(values)
+    for _ in range(400):
+        batch = rng.integers(0, 60, size=int(rng.integers(1, 50)))
+        values[batch] = rng.normal(size=len(batch)) * rng.uniform(0.1, 10)
+        heap.defer(*batch.tolist())
+        _assert_peek_is_argmax(heap, values)
+    heap.validate()
