@@ -168,6 +168,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     diagnose_cmd.add_argument("original", help="original edge list")
     diagnose_cmd.add_argument("sparsified", help="sparsified edge list")
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="run the sparsification job server (also: repro-serve)",
+    )
+    from repro.server.__main__ import configure_parser as _configure_serve
+
+    _configure_serve(serve_cmd)
     return parser
 
 
@@ -193,7 +201,7 @@ def _cmd_sparsify(args: argparse.Namespace) -> int:
     if args.backbone_plan:
         from repro.core import BackbonePlan, parse_variant
 
-        if parse_variant(args.variant).method not in ("gdb", "emd", "lp", "ni"):
+        if not parse_variant(args.variant).accepts_plan:
             raise ReproError(
                 f"--backbone-plan only applies to GDB/EMD/LP/NI variants, "
                 f"not {args.variant!r}"
@@ -346,6 +354,10 @@ def main(argv: "list[str] | None" = None) -> int:
             return _cmd_generate(args)
         if args.command == "estimate":
             return _cmd_estimate(args)
+        if args.command == "serve":
+            from repro.server.__main__ import run_from_args
+
+            return run_from_args(args)
         if args.command == "diagnose":
             from repro.core.diagnostics import analyze_sparsification
 

@@ -38,7 +38,7 @@ from repro.core.entropy import (
     relative_entropy,
 )
 from repro.core.gdb import GDBConfig, gdb, gdb_refine
-from repro.core.grid import GridCell, gdb_grid
+from repro.core.grid import GridCell, gdb_grid, objective_rows
 from repro.core.lp import lp_assign_probabilities, lp_sparsify
 from repro.core.sweep import SweepPlan, build_sweep_plan, greedy_edge_coloring
 from repro.core.sparsify import (
@@ -85,6 +85,7 @@ __all__ = [
     "lp_assign_probabilities",
     "lp_sparsify",
     "maximum_spanning_forest",
+    "objective_rows",
     "parse_variant",
     "random_backbone",
     "relative_entropy",

@@ -60,6 +60,29 @@ class GridCell:
     backbone: "np.ndarray | None" = None
 
 
+def objective_rows(results: dict) -> list[dict]:
+    """Flatten a :func:`gdb_grid` result into JSON-ready objective rows.
+
+    The artifact shape the server's ``grid`` endpoint (and any report
+    writer) serialises: one ``{alpha, h, objective, sweeps}`` dict per
+    cell, ordered by ``(alpha, h)``.  Works on objective-only sweeps
+    (``build_graphs=False``); cells replaced by a ``consume`` hook are
+    skipped since their shape is caller-defined.
+    """
+    rows = []
+    for (alpha, h) in sorted(results):
+        cell = results[(alpha, h)]
+        if not isinstance(cell, GridCell):
+            continue
+        rows.append({
+            "alpha": cell.alpha,
+            "h": cell.h,
+            "objective": cell.objective,
+            "sweeps": cell.sweeps,
+        })
+    return rows
+
+
 def gdb_grid(
     graph: UncertainGraph,
     alphas,

@@ -67,6 +67,20 @@ class VariantSpec:
             label += "-t"
         return label
 
+    @property
+    def accepts_plan(self) -> bool:
+        """Whether :func:`sparsify` accepts ``backbone_plan`` for this
+        variant — GDB/EMD/LP build their backbone from the plan, NI
+        memoises its forest-peel structure on it.  The reuse hook
+        long-lived callers (CLI ladders, the job server) key on."""
+        return self.method in ("gdb", "emd", "lp", "ni")
+
+    @property
+    def accepts_backbone(self) -> bool:
+        """Whether :func:`sparsify` accepts precomputed ``backbone`` ids
+        (the iterative GDB/EMD/LP methods only)."""
+        return self.method in ("gdb", "emd", "lp")
+
 
 def parse_variant(variant: str) -> VariantSpec:
     """Parse a paper-notation variant string into a :class:`VariantSpec`."""
@@ -161,12 +175,12 @@ def sparsify(
     label = name or f"{spec.canonical_name}@{alpha:g}({graph.name})"
     if backbone is not None and backbone_plan is not None:
         raise ValueError("provide at most one of backbone and backbone_plan")
-    if spec.method in ("ni", "sp", "er", "random") and backbone is not None:
+    if backbone is not None and not spec.accepts_backbone:
         raise ValueError(
             f"variant {spec.canonical_name!r} does not take a backbone; "
             f"precomputed backbones only apply to GDB/EMD/LP"
         )
-    if spec.method in ("sp", "er", "random") and backbone_plan is not None:
+    if backbone_plan is not None and not spec.accepts_plan:
         raise ValueError(
             f"variant {spec.canonical_name!r} does not take a backbone plan; "
             f"backbone_plan applies to GDB/EMD/LP/NI"

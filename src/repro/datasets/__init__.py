@@ -6,7 +6,13 @@ example, and a plain-text edge-list reader/writer.
 """
 
 from repro.datasets.forest_fire import forest_fire_sample
-from repro.datasets.io import read_edge_list, write_edge_list
+from repro.datasets.io import (
+    dataset_digest,
+    format_edge_list,
+    graph_digest,
+    read_edge_list,
+    write_edge_list,
+)
 from repro.datasets.synthetic import (
     barabasi_albert_uncertain,
     beta_probability_sampler,
@@ -22,12 +28,15 @@ from repro.datasets.synthetic import (
 __all__ = [
     "barabasi_albert_uncertain",
     "beta_probability_sampler",
+    "dataset_digest",
     "densify",
     "erdos_renyi_uncertain",
     "figure1_graph",
     "figure1_sparsified",
     "flickr_like",
     "forest_fire_sample",
+    "format_edge_list",
+    "graph_digest",
     "grid_uncertain",
     "read_edge_list",
     "twitter_like",

@@ -4,30 +4,102 @@ The on-disk format mirrors the public releases of uncertain-graph
 datasets (Flickr/Twitter style): one edge per line, whitespace-separated
 ``u v p``, ``#`` comments, vertices as arbitrary tokens.  Isolated
 vertices can be declared with a single-token line.
+
+Round-trip contract
+-------------------
+``write_edge_list`` followed by ``read_edge_list`` is *lossless up to
+vertex stringification*: probabilities are serialised with ``repr``
+(the shortest decimal string that parses back to the exact same
+float), so ``float(token)`` recovers the original value bit for bit,
+and vertex tokens that the line format cannot represent (empty,
+containing whitespace or ``#``) are rejected at write time with a
+:class:`~repro.exceptions.GraphError` instead of producing a file the
+reader mis-parses.  This contract is what makes content digests
+(:func:`dataset_digest`, :func:`graph_digest`) sound cache keys: the
+serialisation of a graph is a pure function of its content.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 
 from repro.core.uncertain_graph import UncertainGraph
 from repro.exceptions import GraphError
 
 
+def _serialisable_token(vertex) -> str:
+    """Render a vertex as its on-disk token, rejecting unrepresentable ones.
+
+    The line format is whitespace-split with ``#`` starting a comment, so
+    a token containing either — or an empty token — would be silently
+    mis-parsed (or rejected) on read.  Fail at write time instead.
+    """
+    token = str(vertex)
+    if not token or "#" in token or any(ch.isspace() for ch in token):
+        raise GraphError(
+            f"vertex {vertex!r} cannot be serialised as an edge-list token: "
+            f"tokens must be non-empty and contain no whitespace or '#'"
+        )
+    return token
+
+
+def format_edge_list(graph: UncertainGraph, header: bool = True) -> str:
+    """Serialise a graph to the edge-list text format.
+
+    This is the exact content :func:`write_edge_list` writes; exposing it
+    as a string lets callers (the artifact server, digests) serialise
+    without touching disk.  Probabilities use ``repr`` so the write →
+    read round trip is bit-identical.
+    """
+    lines = []
+    if header:
+        lines.append(
+            f"# uncertain graph {graph.name!r}: "
+            f"{graph.number_of_vertices()} vertices, "
+            f"{graph.number_of_edges()} edges\n"
+        )
+    touched = set()
+    for u, v, p in graph.edges():
+        lines.append(f"{_serialisable_token(u)} {_serialisable_token(v)} {p!r}\n")
+        touched.add(u)
+        touched.add(v)
+    for vertex in graph.vertices():
+        if vertex not in touched:
+            lines.append(f"{_serialisable_token(vertex)}\n")
+    return "".join(lines)
+
+
 def write_edge_list(graph: UncertainGraph, path: "str | os.PathLike") -> None:
     """Write a graph as ``u v p`` lines (isolated vertices as bare tokens)."""
+    content = format_edge_list(graph)
     with open(path, "w", encoding="utf-8") as fh:
-        fh.write(f"# uncertain graph {graph.name!r}: "
-                 f"{graph.number_of_vertices()} vertices, "
-                 f"{graph.number_of_edges()} edges\n")
-        touched = set()
-        for u, v, p in graph.edges():
-            fh.write(f"{u} {v} {p:.10g}\n")
-            touched.add(u)
-            touched.add(v)
-        for vertex in graph.vertices():
-            if vertex not in touched:
-                fh.write(f"{vertex}\n")
+        fh.write(content)
+
+
+def dataset_digest(path: "str | os.PathLike") -> str:
+    """SHA-256 hex digest of a dataset file's bytes.
+
+    The artifact cache keys on this: two requests naming files with the
+    same bytes share cached artifacts, and rewriting a file invalidates
+    every entry derived from its old content.
+    """
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for block in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def graph_digest(graph: UncertainGraph) -> str:
+    """SHA-256 hex digest of a graph's canonical serialisation.
+
+    Name-independent (the header comment carries the name and is
+    excluded), so two graphs with identical vertices/edges/probabilities
+    digest identically regardless of how they were labelled.
+    """
+    content = format_edge_list(graph, header=False)
+    return hashlib.sha256(content.encode("utf-8")).hexdigest()
 
 
 def read_edge_list(path: "str | os.PathLike", name: str = "") -> UncertainGraph:

@@ -34,3 +34,14 @@ class CalibrationError(SparsificationError):
 
 class EstimationError(ReproError):
     """A Monte-Carlo estimator was configured or used incorrectly."""
+
+
+class ServerError(ReproError):
+    """A problem in the sparsification job server (bad request, bad state)."""
+
+
+class AdmissionError(ServerError):
+    """The job queue refused a submission (bounded depth exceeded).
+
+    The HTTP layer maps this to ``429 Too Many Requests``.
+    """

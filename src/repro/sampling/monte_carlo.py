@@ -192,6 +192,16 @@ class MonteCarloEstimator:
             self._executor = None
             self._executor_query = None
 
+    def __enter__(self) -> "MonteCarloEstimator":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        # Long-lived processes (the job server) scope each estimator to
+        # one job batch; exit closes the cached pool deterministically
+        # instead of leaning on __del__/GC timing.
+        self.close()
+        return False
+
     def run(self, query: "Query", rng: "int | np.random.Generator | None" = None) -> EstimationResult:
         """One Monte-Carlo run: the ``(N, units)`` outcome matrix."""
         rng = ensure_rng(rng)

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import os
 import warnings
+import weakref
 from collections import deque
 from collections.abc import Callable, Iterable, Iterator
 from concurrent.futures import ProcessPoolExecutor
@@ -56,6 +57,22 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Supported per-chunk RNG derivation strategies.
 RNG_MODES = ("sequential", "spawn")
+
+#: Every live process pool, tracked so long-lived processes (the job
+#: server) can assert that no pool outlives its executor's close().
+#: Weak references only: an executor dropped without close() still
+#: lets its pool be collected.
+_LIVE_POOLS: "weakref.WeakSet[ProcessPoolExecutor]" = weakref.WeakSet()
+
+
+def active_pool_count() -> int:
+    """Number of process pools currently held open by executors.
+
+    The lifecycle invariant a long-lived process relies on: after every
+    :meth:`ParallelBatchExecutor.close` (or context-manager exit) this
+    returns to its prior value — no pool outlives a completed batch.
+    """
+    return len(_LIVE_POOLS)
 
 
 def resolve_workers(workers: "int | None") -> int:
@@ -220,10 +237,16 @@ class ParallelBatchExecutor:
             pass
 
     def close(self) -> None:
-        """Shut the pool down (idempotent; serial executors are a no-op)."""
+        """Shut the pool down (idempotent; serial executors are a no-op).
+
+        Blocks until the worker processes are reaped, so on return
+        :func:`active_pool_count` no longer counts this executor — the
+        contract long-lived callers (the job server) shut down through.
+        """
         if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
-            self._pool = None
+            pool, self._pool = self._pool, None
+            pool.shutdown(wait=True, cancel_futures=True)
+            _LIVE_POOLS.discard(pool)
 
     # -- public API ----------------------------------------------------------
     def run(
@@ -342,6 +365,7 @@ class ParallelBatchExecutor:
         except Exception as error:
             self._mark_pool_failed(error)
             return None
+        _LIVE_POOLS.add(self._pool)
         return self._pool
 
     def _mark_pool_failed(self, error: Exception) -> None:
@@ -354,11 +378,12 @@ class ParallelBatchExecutor:
                 stacklevel=4,
             )
         if self._pool is not None:
+            pool, self._pool = self._pool, None
             try:
-                self._pool.shutdown(wait=False, cancel_futures=True)
+                pool.shutdown(wait=False, cancel_futures=True)
             except Exception:  # pragma: no cover - best-effort teardown
                 pass
-            self._pool = None
+            _LIVE_POOLS.discard(pool)
 
     def _evaluate_stream(self, tasks: Iterable[tuple]) -> list[np.ndarray]:
         """Run tasks through the pool, results in submission order.

@@ -1,0 +1,44 @@
+"""Sparsification-as-a-service: a long-lived job server over the library.
+
+Everything below this package is a pure function; this layer is the
+production shape around them (ROADMAP item 1):
+
+- :mod:`repro.server.queue` — bounded priority job queue with
+  admission control (429 beyond ``queue_depth``),
+- :mod:`repro.server.cache` — bounded LRU artifact cache with
+  single-flight deduplication; keyed by the dataset *content digest*
+  plus the full parameter tuple, so hits are byte-identical to
+  recomputation (the seeded bit-identity contracts of PRs 1–6 make
+  this sound),
+- :mod:`repro.server.scheduler` — deterministic cron-style scheduler
+  for recurring re-sparsification refreshes,
+- :mod:`repro.server.meter` — queries/sec, worlds/sec, cache hit rate
+  and per-endpoint latency percentiles (the ``metrics`` endpoint),
+- :mod:`repro.server.service` — the worker core tying those together
+  over :func:`repro.core.sparsify`, the Monte-Carlo estimators, and
+  :func:`repro.core.gdb_grid` (with per-dataset
+  :class:`~repro.core.backbone.BackbonePlan` reuse),
+- :mod:`repro.server.api` — the stdlib HTTP/JSON front-end
+  (``repro-serve`` / ``python -m repro.server``).
+"""
+
+from repro.server.api import ReproHTTPServer, start_server
+from repro.server.cache import ArtifactCache
+from repro.server.meter import ThroughputMeter
+from repro.server.queue import Job, PriorityJobQueue
+from repro.server.scheduler import ScheduledTask, Scheduler
+from repro.server.service import ServerConfig, SparsifierService, canonical_body
+
+__all__ = [
+    "ArtifactCache",
+    "Job",
+    "PriorityJobQueue",
+    "ReproHTTPServer",
+    "ScheduledTask",
+    "Scheduler",
+    "ServerConfig",
+    "SparsifierService",
+    "ThroughputMeter",
+    "canonical_body",
+    "start_server",
+]

@@ -1,0 +1,149 @@
+"""Bounded LRU artifact cache with single-flight deduplication.
+
+Artifacts are the exact response bodies the server sends (bytes), keyed
+by the full parameter tuple that determines them —
+``(dataset digest, endpoint, alpha, h, seed, engine, solver, emd_mode,
+…)``.  Because every compute layer underneath is deterministic under a
+fixed seed (the bit-identity contracts of PRs 1–6) and dataset
+round-trips are lossless, a cache hit is *guaranteed* byte-identical to
+recomputation — so a hot ``(alpha, h)`` cell is computed once and
+served millions of times.
+
+Single flight: when N requests for the same key arrive concurrently,
+exactly one (the *leader*) computes; the rest (the *followers*) block
+on the leader's event and receive the same object.  A leader's failure
+propagates to its followers but is never cached, so a transient error
+doesn't poison the key.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+from repro.exceptions import ServerError
+
+
+class _Flight:
+    """In-flight computation shared by a leader and its followers."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Any = None
+        self.error: "BaseException | None" = None
+
+
+class ArtifactCache:
+    """Thread-safe bounded LRU map with single-flight ``get_or_compute``."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ServerError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._inflight: dict[Hashable, _Flight] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.joined = 0  # followers served by another request's flight
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: Hashable) -> Any:
+        """Return the cached value or ``None`` (counts as hit/miss)."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+            self.misses += 1
+            return None
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh an entry, evicting the least recently used."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def get_or_compute(
+        self, key: Hashable, compute: Callable[[], Any]
+    ) -> tuple[Any, bool]:
+        """Return ``(value, served_without_computing)`` for ``key``.
+
+        Exactly one concurrent caller per key runs ``compute``; the
+        value is cached and every other caller — concurrent followers
+        and later requests alike — receives it without recomputation.
+        """
+        while True:
+            with self._lock:
+                if key in self._entries:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    return self._entries[key], True
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = _Flight()
+                    self._inflight[key] = flight
+                    break  # this caller leads
+            # Follower: wait out the leader, then share its outcome.
+            flight.event.wait()
+            if flight.error is not None:
+                raise ServerError(
+                    f"shared computation for {key!r} failed: {flight.error}"
+                ) from flight.error
+            with self._lock:
+                self.joined += 1
+            return flight.value, True
+
+        try:
+            value = compute()
+        except BaseException as error:  # noqa: BLE001 - relayed to followers
+            flight.error = error
+            with self._lock:
+                del self._inflight[key]
+            flight.event.set()
+            raise
+        flight.value = value
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            del self._inflight[key]
+        flight.event.set()
+        return value, False
+
+    def stats(self) -> dict:
+        with self._lock:
+            lookups = self.hits + self.joined + self.misses
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "single_flight_joins": self.joined,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": (
+                    (self.hits + self.joined) / lookups if lookups else 0.0
+                ),
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = self.misses = self.evictions = self.joined = 0

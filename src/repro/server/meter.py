@@ -1,0 +1,155 @@
+"""Throughput and latency accounting for the job server.
+
+Mirrors the shape of a download-rate meter (bytes/sec over a sliding
+window) with the units that matter here: *queries/sec* (requests
+served), *worlds/sec* (Monte-Carlo worlds evaluated by estimate jobs),
+and per-endpoint latency percentiles from a bounded reservoir of recent
+observations.  The clock is injectable so tests (and the deterministic
+scheduler) can drive it without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+
+class ThroughputMeter:
+    """Sliding-window rates + per-endpoint latency percentiles.
+
+    Parameters
+    ----------
+    window:
+        Sliding-window length in seconds for the rate figures.
+    reservoir:
+        Per-endpoint cap on retained latency observations (the
+        percentile basis; oldest observations fall out first).
+    clock:
+        Monotonic time source; injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        window: float = 60.0,
+        reservoir: int = 2048,
+        clock=time.monotonic,
+    ) -> None:
+        self.window = float(window)
+        self.reservoir = int(reservoir)
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._started = clock()
+        # endpoint -> (count, total_seconds, recent deque[(t, seconds, worlds)],
+        #              latency reservoir deque[seconds])
+        self._endpoints: dict[str, dict] = {}
+        self.total_requests = 0
+        self.total_worlds = 0
+
+    def _entry(self, endpoint: str) -> dict:
+        entry = self._endpoints.get(endpoint)
+        if entry is None:
+            entry = {
+                "count": 0,
+                "seconds": 0.0,
+                "recent": deque(),
+                "latencies": deque(maxlen=self.reservoir),
+            }
+            self._endpoints[endpoint] = entry
+        return entry
+
+    def record(self, endpoint: str, seconds: float, worlds: int = 0) -> None:
+        """Account one served request: its latency and any worlds evaluated."""
+        now = self.clock()
+        with self._lock:
+            entry = self._entry(endpoint)
+            entry["count"] += 1
+            entry["seconds"] += seconds
+            entry["recent"].append((now, float(seconds), int(worlds)))
+            entry["latencies"].append(float(seconds))
+            self.total_requests += 1
+            self.total_worlds += int(worlds)
+            self._prune(now)
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self.window
+        for entry in self._endpoints.values():
+            recent = entry["recent"]
+            while recent and recent[0][0] < horizon:
+                recent.popleft()
+
+    def queries_per_second(self, endpoint: "str | None" = None) -> float:
+        """Requests/sec over the sliding window (all endpoints by default)."""
+        now = self.clock()
+        with self._lock:
+            self._prune(now)
+            entries = (
+                [self._endpoints[endpoint]] if endpoint in self._endpoints
+                else [] if endpoint is not None
+                else list(self._endpoints.values())
+            )
+            count = sum(len(e["recent"]) for e in entries)
+            span = min(self.window, max(now - self._started, 1e-9))
+            return count / span
+
+    def worlds_per_second(self) -> float:
+        """Monte-Carlo worlds/sec over the sliding window."""
+        now = self.clock()
+        with self._lock:
+            self._prune(now)
+            worlds = sum(
+                w for e in self._endpoints.values() for (_, _, w) in e["recent"]
+            )
+            span = min(self.window, max(now - self._started, 1e-9))
+            return worlds / span
+
+    @staticmethod
+    def _percentile(ordered: list[float], q: float) -> float:
+        """Nearest-rank percentile on an already-sorted sample."""
+        if not ordered:
+            return 0.0
+        rank = max(0, min(len(ordered) - 1, round(q / 100.0 * len(ordered)) - 1))
+        return ordered[rank]
+
+    def latency_percentiles(
+        self, endpoint: str, quantiles: tuple = (50, 90, 99)
+    ) -> dict:
+        with self._lock:
+            entry = self._endpoints.get(endpoint)
+            ordered = sorted(entry["latencies"]) if entry else []
+        return {f"p{q:g}": self._percentile(ordered, q) for q in quantiles}
+
+    def snapshot(self) -> dict:
+        """JSON-ready metrics document (the ``metrics`` endpoint body)."""
+        now = self.clock()
+        with self._lock:
+            self._prune(now)
+            span = min(self.window, max(now - self._started, 1e-9))
+            endpoints = {}
+            for name, entry in sorted(self._endpoints.items()):
+                ordered = sorted(entry["latencies"])
+                count = entry["count"]
+                endpoints[name] = {
+                    "requests": count,
+                    "requests_per_second": len(entry["recent"]) / span,
+                    "mean_latency_s": entry["seconds"] / count if count else 0.0,
+                    "latency_s": {
+                        f"p{q:g}": self._percentile(ordered, q)
+                        for q in (50, 90, 99)
+                    },
+                }
+            recent_worlds = sum(
+                w for e in self._endpoints.values() for (_, _, w) in e["recent"]
+            )
+            recent_queries = sum(
+                len(e["recent"]) for e in self._endpoints.values()
+            )
+            return {
+                "uptime_s": now - self._started,
+                "window_s": self.window,
+                "total_requests": self.total_requests,
+                "total_worlds": self.total_worlds,
+                "queries_per_second": recent_queries / span,
+                "worlds_per_second": recent_worlds / span,
+                "endpoints": endpoints,
+            }

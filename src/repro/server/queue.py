@@ -1,0 +1,180 @@
+"""Bounded priority job queue with admission control.
+
+The server's unit of work is a :class:`Job`: a ``(kind, params)`` pair
+plus an integer priority (lower runs first; ties run in submission
+order, so the schedule is a pure function of the submission sequence —
+the deterministic-partitioning discipline applied to queueing).  The
+queue is *bounded*: once ``max_depth`` jobs are pending, submissions
+raise :class:`~repro.exceptions.AdmissionError`, which the HTTP layer
+turns into ``429 Too Many Requests``.  Shedding load at admission keeps
+the latency of accepted jobs bounded instead of letting a backlog grow
+without limit.
+
+Workers call :meth:`PriorityJobQueue.claim` (blocking) and complete
+jobs with :meth:`PriorityJobQueue.finish`; callers block on
+:meth:`Job.wait`, which re-raises the job's error in the waiting
+thread.  :meth:`PriorityJobQueue.close` wakes every claimer with
+``None`` and fails all still-pending jobs, so shutdown never strands a
+waiter.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.exceptions import AdmissionError, ServerError
+
+#: Job lifecycle states.
+QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
+
+
+@dataclass(eq=False)
+class Job:
+    """One queued unit of work and its completion rendezvous."""
+
+    kind: str
+    params: dict
+    priority: int = 50
+    seq: int = 0
+    state: str = QUEUED
+    result: Any = None
+    error: "BaseException | None" = None
+    _done: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    def wait(self, timeout: "float | None" = None) -> Any:
+        """Block until the job completes; return its result.
+
+        Re-raises the job's error in the waiting thread, and raises
+        :class:`ServerError` on timeout.
+        """
+        if not self._done.wait(timeout):
+            raise ServerError(
+                f"timed out after {timeout:g}s waiting for {self.kind} job"
+            )
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+    @property
+    def finished(self) -> bool:
+        return self._done.is_set()
+
+
+class PriorityJobQueue:
+    """Thread-safe bounded priority queue of :class:`Job` objects.
+
+    Parameters
+    ----------
+    max_depth:
+        Admission-control bound on *pending* (not yet claimed) jobs.
+        Submissions beyond it raise :class:`AdmissionError`.
+    """
+
+    def __init__(self, max_depth: int = 64) -> None:
+        if max_depth < 1:
+            raise ServerError(f"max_depth must be positive, got {max_depth}")
+        self.max_depth = max_depth
+        self._heap: list[tuple[int, int, Job]] = []
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._seq = itertools.count()
+        self._closed = False
+        self.submitted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.failed = 0
+        self.running = 0
+
+    # -- producer side -------------------------------------------------------
+    def submit(self, kind: str, params: dict, priority: int = 50) -> Job:
+        """Enqueue a job, or raise :class:`AdmissionError` when full."""
+        with self._lock:
+            if self._closed:
+                raise ServerError("job queue is closed")
+            if len(self._heap) >= self.max_depth:
+                self.rejected += 1
+                raise AdmissionError(
+                    f"job queue full ({self.max_depth} pending); retry later"
+                )
+            job = Job(kind=kind, params=params, priority=int(priority),
+                      seq=next(self._seq))
+            heapq.heappush(self._heap, (job.priority, job.seq, job))
+            self.submitted += 1
+            self._not_empty.notify()
+            return job
+
+    # -- worker side ---------------------------------------------------------
+    def claim(self, timeout: "float | None" = None) -> "Job | None":
+        """Pop the most urgent pending job, blocking up to ``timeout``.
+
+        Returns ``None`` when the queue is closed or the wait times out.
+        """
+        with self._not_empty:
+            while not self._heap:
+                if self._closed or not self._not_empty.wait(timeout):
+                    return None
+            _, _, job = heapq.heappop(self._heap)
+            job.state = RUNNING
+            self.running += 1
+            return job
+
+    def finish(self, job: Job, result: Any = None,
+               error: "BaseException | None" = None) -> None:
+        """Complete a claimed job and wake its waiters."""
+        with self._lock:
+            self.running -= 1
+            if error is not None:
+                job.state = FAILED
+                job.error = error
+                self.failed += 1
+            else:
+                job.state = DONE
+                job.result = result
+                self.completed += 1
+        job._done.set()
+
+    def run_job(self, job: Job, execute: Callable[[Job], Any]) -> None:
+        """Execute a claimed job through ``execute`` and record the outcome."""
+        try:
+            result = execute(job)
+        except BaseException as error:  # noqa: BLE001 - relayed to the waiter
+            self.finish(job, error=error)
+        else:
+            self.finish(job, result=result)
+
+    # -- introspection / lifecycle -------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Number of pending (unclaimed) jobs."""
+        with self._lock:
+            return len(self._heap)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "pending": len(self._heap),
+                "running": self.running,
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "rejected": self.rejected,
+                "max_depth": self.max_depth,
+            }
+
+    def close(self) -> None:
+        """Refuse new work, fail pending jobs, wake every claimer."""
+        with self._not_empty:
+            if self._closed:
+                return
+            self._closed = True
+            pending = [job for _, _, job in self._heap]
+            self._heap.clear()
+            self._not_empty.notify_all()
+        for job in pending:
+            job.state = FAILED
+            job.error = ServerError("job queue closed before execution")
+            job._done.set()

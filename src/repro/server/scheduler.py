@@ -1,0 +1,149 @@
+"""Cron-style scheduler for recurring re-sparsification jobs.
+
+A :class:`ScheduledTask` fires its action every ``interval`` seconds
+from its registration instant.  The schedule is *deterministic in the
+clock*: :meth:`Scheduler.tick` fires each due task exactly once and
+advances its deadline by whole intervals past ``now`` (a task that
+missed several intervals while the process was busy runs once and
+records the misses, it does not burst).  With an injected fake clock
+the fire sequence is a pure function of the tick times — pinned by the
+scheduler-determinism tests.
+
+For real serving, :meth:`Scheduler.run` loops tick/sleep on a
+background thread until its stop event is set; the service routes
+shutdown through :meth:`Scheduler.close`.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.exceptions import ServerError
+
+
+@dataclass
+class ScheduledTask:
+    """One recurring action and its firing state."""
+
+    name: str
+    interval: float
+    action: Callable[[], None]
+    next_run: float
+    runs: int = 0
+    missed: int = 0
+    last_error: "str | None" = field(default=None)
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "interval_s": self.interval,
+            "runs": self.runs,
+            "missed": self.missed,
+            "last_error": self.last_error,
+        }
+
+
+class Scheduler:
+    """Deterministic interval scheduler with an optional driver thread."""
+
+    def __init__(self, clock=time.monotonic) -> None:
+        self.clock = clock
+        self._tasks: dict[str, ScheduledTask] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: "threading.Thread | None" = None
+
+    # -- registration --------------------------------------------------------
+    def add(
+        self,
+        name: str,
+        interval: float,
+        action: Callable[[], None],
+        delay: "float | None" = None,
+    ) -> ScheduledTask:
+        """Register a recurring task; first run after ``delay`` (default:
+        one full ``interval``).  Re-adding a name replaces the task."""
+        if interval <= 0:
+            raise ServerError(f"interval must be positive, got {interval}")
+        first = self.clock() + (interval if delay is None else delay)
+        task = ScheduledTask(name=name, interval=float(interval),
+                             action=action, next_run=first)
+        with self._lock:
+            self._tasks[name] = task
+        return task
+
+    def remove(self, name: str) -> bool:
+        with self._lock:
+            return self._tasks.pop(name, None) is not None
+
+    def tasks(self) -> list[dict]:
+        with self._lock:
+            return [task.describe() for task in self._tasks.values()]
+
+    # -- firing --------------------------------------------------------------
+    def tick(self, now: "float | None" = None) -> list[str]:
+        """Fire every due task once; return the fired names in order.
+
+        Tasks fire in deadline order (name as the tie-break) and their
+        deadlines advance by whole intervals strictly past ``now``, so
+        the fire sequence is a pure function of the tick times.
+        """
+        now = self.clock() if now is None else now
+        with self._lock:
+            due = sorted(
+                (task for task in self._tasks.values() if task.next_run <= now),
+                key=lambda task: (task.next_run, task.name),
+            )
+            for task in due:
+                intervals = math.floor((now - task.next_run) / task.interval) + 1
+                task.missed += intervals - 1
+                task.next_run += intervals * task.interval
+                task.runs += 1
+        fired = []
+        for task in due:
+            try:
+                task.action()
+                task.last_error = None
+            except Exception as error:  # noqa: BLE001 - keep the loop alive
+                task.last_error = f"{type(error).__name__}: {error}"
+            fired.append(task.name)
+        return fired
+
+    def next_deadline(self) -> "float | None":
+        with self._lock:
+            if not self._tasks:
+                return None
+            return min(task.next_run for task in self._tasks.values())
+
+    # -- background driver ---------------------------------------------------
+    def start(self, poll: float = 0.5) -> None:
+        """Run the tick loop on a daemon thread (idempotent)."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self.run, args=(poll,), name="repro-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    def run(self, poll: float = 0.5) -> None:
+        while not self._stop.is_set():
+            self.tick()
+            deadline = self.next_deadline()
+            timeout = poll if deadline is None else min(
+                poll, max(deadline - self.clock(), 0.0)
+            )
+            self._stop.wait(timeout)
+
+    def close(self) -> None:
+        """Stop the driver thread (if any) and forget every task."""
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=5.0)
+        with self._lock:
+            self._tasks.clear()

@@ -1,0 +1,417 @@
+"""The sparsification service: jobs, datasets, artifacts, schedules.
+
+:class:`SparsifierService` is the worker core the HTTP layer fronts.
+A request becomes a :class:`~repro.server.queue.Job` only on a cache
+miss; the artifact cache (keyed by the full parameter tuple including
+the dataset's content digest) intercepts repeats and deduplicates
+concurrent identical requests down to one computation (single flight).
+Job workers are plain threads claiming from the priority queue — the
+heavy lifting inside a job is numpy (and optionally a process pool via
+``mc_workers``), so threads overlap fine — and every estimate job
+scopes its :class:`~repro.sampling.MonteCarloEstimator` with a context
+manager, so no process pool outlives a completed job batch.
+
+Determinism contract: artifacts are canonical JSON (sorted keys) whose
+payload is a pure function of ``(dataset digest, endpoint params,
+seed)`` — the compute layers underneath are bit-identical under a fixed
+seed regardless of engine parallelism, so a cache hit is byte-identical
+to recomputation and the cache key can ignore ``mc_workers``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.backbone import BackbonePlan
+from repro.core.grid import gdb_grid, objective_rows
+from repro.core.sparsify import parse_variant, sparsify
+from repro.datasets.io import dataset_digest, format_edge_list, read_edge_list
+from repro.exceptions import ServerError
+from repro.server.cache import ArtifactCache
+from repro.server.meter import ThroughputMeter
+from repro.server.queue import PriorityJobQueue
+from repro.server.scheduler import Scheduler
+
+#: Lower value = more urgent.  Interactive estimates beat sparsify jobs
+#: beat grid sweeps; scheduler-driven refreshes yield to everything.
+DEFAULT_PRIORITIES = {"estimate": 10, "sparsify": 20, "grid": 30}
+REFRESH_PRIORITY = 60
+
+_ESTIMATE_QUERIES = (
+    "reliability", "distance", "pagerank", "clustering", "connectivity"
+)
+
+
+@dataclass
+class ServerConfig:
+    """Tunables for the job server."""
+
+    host: str = "127.0.0.1"
+    port: int = 8765
+    queue_depth: int = 64          # admission-control bound (429 beyond it)
+    cache_capacity: int = 256      # artifact LRU entries
+    workers: int = 2               # job worker threads
+    mc_workers: int = 1            # process-pool width inside estimate jobs
+    max_samples: int = 100_000     # per-request Monte-Carlo world cap
+    max_grid_cells: int = 256      # per-request (alpha, h) grid cap
+    dataset_capacity: int = 16     # parsed graphs + plans kept in RAM
+    request_timeout: float = 600.0  # seconds a request waits on its job
+    datasets_root: "str | None" = None  # confine dataset paths when set
+
+
+def canonical_body(document: dict) -> bytes:
+    """Serialise a response document to canonical (byte-stable) JSON."""
+    return (json.dumps(document, sort_keys=True, separators=(",", ":"))
+            + "\n").encode("utf-8")
+
+
+class SparsifierService:
+    """Long-lived worker core: queue + cache + meter + scheduler."""
+
+    def __init__(self, config: "ServerConfig | None" = None) -> None:
+        self.config = config or ServerConfig()
+        self.queue = PriorityJobQueue(max_depth=self.config.queue_depth)
+        self.cache = ArtifactCache(capacity=self.config.cache_capacity)
+        self.meter = ThroughputMeter()
+        self.scheduler = Scheduler()
+        self.started = time.monotonic()
+        self._datasets: "OrderedDict[str, dict]" = OrderedDict()
+        self._datasets_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-worker-{i}", daemon=True
+            )
+            for i in range(max(1, self.config.workers))
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # -- lifecycle -----------------------------------------------------------
+    def __enter__(self) -> "SparsifierService":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+    def close(self) -> None:
+        """Shut down: scheduler, queue, worker threads, datasets."""
+        self.scheduler.close()
+        self._stop.set()
+        self.queue.close()
+        for thread in self._workers:
+            thread.join(timeout=10.0)
+        with self._datasets_lock:
+            self._datasets.clear()
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            job = self.queue.claim(timeout=0.1)
+            if job is not None:
+                self.queue.run_job(job, self._execute)
+
+    # -- request entry point -------------------------------------------------
+    def handle(self, endpoint: str, params: dict) -> tuple[bytes, bool]:
+        """Serve one request: ``(response body, served_from_cache)``.
+
+        Cache hits (and single-flight joins) never touch the queue; a
+        miss enqueues one job and waits for it.  Raises
+        :class:`~repro.exceptions.AdmissionError` when the queue is
+        full and :class:`ReproError` subclasses on bad parameters.
+        """
+        if endpoint not in DEFAULT_PRIORITIES:
+            raise ServerError(f"unknown endpoint {endpoint!r}")
+        start = time.perf_counter()
+        norm = self._normalise(endpoint, dict(params))
+        priority = norm.pop("priority")
+        key = canonical_body({"endpoint": endpoint, **norm})
+        body, served_from_cache = self.cache.get_or_compute(
+            key, lambda: self._compute(endpoint, norm, priority)
+        )
+        worlds = 0
+        if endpoint == "estimate" and not served_from_cache:
+            worlds = norm["samples"]
+        self.meter.record(endpoint, time.perf_counter() - start, worlds=worlds)
+        return body, served_from_cache
+
+    def _compute(self, endpoint: str, norm: dict, priority: int) -> bytes:
+        job = self.queue.submit(endpoint, norm, priority=priority)
+        return job.wait(timeout=self.config.request_timeout)
+
+    def _execute(self, job) -> bytes:
+        if job.kind == "sparsify":
+            return self._run_sparsify(job.params)
+        if job.kind == "estimate":
+            return self._run_estimate(job.params)
+        if job.kind == "grid":
+            return self._run_grid(job.params)
+        raise ServerError(f"unknown job kind {job.kind!r}")
+
+    # -- parameter normalisation ---------------------------------------------
+    def _normalise(self, endpoint: str, params: dict) -> dict:
+        """Canonicalise request params (also the cache-key material).
+
+        Every field is defaulted and type-coerced here so two requests
+        meaning the same computation produce identical keys.
+        """
+        if not isinstance(params, dict):
+            raise ServerError("request body must be a JSON object")
+        dataset = params.pop("dataset", None)
+        if not dataset or not isinstance(dataset, str):
+            raise ServerError("request needs a 'dataset' path")
+        digest = self._digest(dataset)
+        priority = params.pop("priority", DEFAULT_PRIORITIES[endpoint])
+        norm: dict = {
+            "dataset": dataset,
+            "digest": digest,
+            "seed": int(params.pop("seed", 0)),
+            "priority": int(priority),
+        }
+        if endpoint == "sparsify":
+            if "alpha" not in params:
+                raise ServerError("sparsify needs an 'alpha' in (0, 1)")
+            norm.update(
+                alpha=float(params.pop("alpha")),
+                variant=str(params.pop("variant", "EMD^R-t")),
+                h=float(params.pop("h", 0.05)),
+                engine=str(params.pop("engine", "vector")),
+                lp_solver=str(params.pop("lp_solver", "highs")),
+                emd_mode=str(params.pop("emd_mode", "eager")),
+            )
+            parse_variant(norm["variant"])  # fail fast on bad notation
+            if not 0.0 < norm["alpha"] < 1.0:
+                raise ServerError(f"alpha must be in (0, 1), got {norm['alpha']}")
+        elif endpoint == "estimate":
+            norm.update(
+                query=str(params.pop("query", "reliability")),
+                samples=int(params.pop("samples", 200)),
+                pairs=int(params.pop("pairs", 50)),
+                weighted=bool(params.pop("weighted", False)),
+            )
+            if norm["query"] not in _ESTIMATE_QUERIES:
+                raise ServerError(
+                    f"query must be one of {_ESTIMATE_QUERIES}, "
+                    f"got {norm['query']!r}"
+                )
+            if norm["weighted"] and norm["query"] != "distance":
+                raise ServerError("weighted only applies to the distance query")
+            if not 1 <= norm["samples"] <= self.config.max_samples:
+                raise ServerError(
+                    f"samples must be in [1, {self.config.max_samples}]"
+                )
+        elif endpoint == "grid":
+            alphas = [float(a) for a in params.pop("alphas", [0.2, 0.4])]
+            h_values = [float(h) for h in params.pop("h_values", [0.05])]
+            if not alphas or not h_values:
+                raise ServerError("grid needs non-empty alphas and h_values")
+            if len(alphas) * len(h_values) > self.config.max_grid_cells:
+                raise ServerError(
+                    f"grid larger than {self.config.max_grid_cells} cells"
+                )
+            k_raw = params.pop("k", 1)
+            norm.update(
+                alphas=alphas,
+                h_values=h_values,
+                k=k_raw if k_raw == "n" else int(k_raw),
+                relative=bool(params.pop("relative", False)),
+                backbone_method=str(params.pop("backbone_method", "bgi")),
+                engine=str(params.pop("engine", "vector")),
+            )
+        if params:
+            raise ServerError(
+                f"unknown parameters for {endpoint}: {sorted(params)}"
+            )
+        return norm
+
+    # -- dataset registry ----------------------------------------------------
+    def _resolve_path(self, dataset: str) -> str:
+        root = self.config.datasets_root
+        if root is None:
+            return dataset
+        resolved = os.path.realpath(os.path.join(root, dataset))
+        if os.path.commonpath([resolved, os.path.realpath(root)]) != \
+                os.path.realpath(root):
+            raise ServerError(f"dataset path {dataset!r} escapes datasets root")
+        return resolved
+
+    def _digest(self, dataset: str) -> str:
+        path = self._resolve_path(dataset)
+        try:
+            return dataset_digest(path)
+        except OSError as error:
+            raise ServerError(f"cannot read dataset {dataset!r}: {error}") \
+                from error
+
+    def _dataset(self, dataset: str, digest: str) -> dict:
+        """The parsed graph (plus a lazily-built plan slot) for a digest.
+
+        Content-addressed: rewriting a file changes its digest and loads
+        a fresh entry, so stale graphs are never served.  Bounded LRU
+        like the artifact cache.
+        """
+        with self._datasets_lock:
+            entry = self._datasets.get(digest)
+            if entry is not None:
+                self._datasets.move_to_end(digest)
+                return entry
+        graph = read_edge_list(self._resolve_path(dataset))
+        entry = {"graph": graph, "plan": None, "lock": threading.Lock()}
+        with self._datasets_lock:
+            entry = self._datasets.setdefault(digest, entry)
+            self._datasets.move_to_end(digest)
+            while len(self._datasets) > self.config.dataset_capacity:
+                self._datasets.popitem(last=False)
+        return entry
+
+    def _plan_for(self, entry: dict) -> BackbonePlan:
+        """The dataset's memoised BackbonePlan (the plan-reuse hook):
+        one Kruskal decomposition serves every request on the graph."""
+        with entry["lock"]:
+            if entry["plan"] is None:
+                entry["plan"] = BackbonePlan(entry["graph"])
+            return entry["plan"]
+
+    # -- job bodies ----------------------------------------------------------
+    def _run_sparsify(self, norm: dict) -> bytes:
+        entry = self._dataset(norm["dataset"], norm["digest"])
+        graph = entry["graph"]
+        spec = parse_variant(norm["variant"])
+        plan = self._plan_for(entry) if spec.accepts_plan else None
+        result = sparsify(
+            graph,
+            norm["alpha"],
+            variant=norm["variant"],
+            rng=norm["seed"],
+            h=norm["h"],
+            engine=norm["engine"],
+            backbone_plan=plan,
+            lp_solver=norm["lp_solver"],
+            emd_mode=norm["emd_mode"],
+        )
+        return canonical_body({
+            "endpoint": "sparsify",
+            "digest": norm["digest"],
+            "variant": spec.canonical_name,
+            "alpha": norm["alpha"],
+            "h": norm["h"],
+            "seed": norm["seed"],
+            "vertices": result.number_of_vertices(),
+            "edges": result.number_of_edges(),
+            "artifact": format_edge_list(result, header=False),
+        })
+
+    def _run_estimate(self, norm: dict) -> bytes:
+        from repro.queries import (
+            ClusteringCoefficientQuery,
+            ConnectivityQuery,
+            PageRankQuery,
+            ReliabilityQuery,
+            ShortestPathQuery,
+            sample_vertex_pairs,
+        )
+        from repro.sampling import MonteCarloEstimator
+
+        entry = self._dataset(norm["dataset"], norm["digest"])
+        graph = entry["graph"]
+        name = norm["query"]
+        if name in ("reliability", "distance"):
+            pairs = sample_vertex_pairs(graph, norm["pairs"], rng=norm["seed"])
+            query = (
+                ReliabilityQuery(pairs) if name == "reliability"
+                else ShortestPathQuery(pairs, weighted=norm["weighted"])
+            )
+        elif name == "pagerank":
+            query = PageRankQuery(graph.number_of_vertices())
+        elif name == "clustering":
+            query = ClusteringCoefficientQuery(graph.number_of_vertices())
+        else:
+            query = ConnectivityQuery()
+        # Context-managed: the estimator's process pool (mc_workers > 1)
+        # is reaped with the job, never left behind in the server.
+        with MonteCarloEstimator(
+            graph, n_samples=norm["samples"], workers=self.config.mc_workers
+        ) as estimator:
+            result = estimator.run(query, rng=norm["seed"])
+        return canonical_body({
+            "endpoint": "estimate",
+            "digest": norm["digest"],
+            "query": name,
+            "weighted": norm["weighted"],
+            "samples": norm["samples"],
+            "seed": norm["seed"],
+            "estimate": result.scalar_estimate(),
+            "confidence_width": result.confidence_width(),
+        })
+
+    def _run_grid(self, norm: dict) -> bytes:
+        entry = self._dataset(norm["dataset"], norm["digest"])
+        results = gdb_grid(
+            entry["graph"],
+            norm["alphas"],
+            norm["h_values"],
+            k=norm["k"],
+            relative=norm["relative"],
+            backbone_method=norm["backbone_method"],
+            rng=norm["seed"],
+            engine=norm["engine"],
+            build_graphs=False,
+            backbone_plan=self._plan_for(entry),
+        )
+        return canonical_body({
+            "endpoint": "grid",
+            "digest": norm["digest"],
+            "seed": norm["seed"],
+            "k": norm["k"],
+            "relative": norm["relative"],
+            "cells": objective_rows(results),
+        })
+
+    # -- recurring re-sparsification -----------------------------------------
+    def schedule_resparsify(
+        self, name: str, params: dict, interval: float,
+        delay: "float | None" = None,
+    ) -> dict:
+        """Register a recurring job refreshing a sparsify artifact.
+
+        Each firing recomputes the artifact at refresh priority (behind
+        all interactive traffic) and overwrites the cache entry, so hot
+        keys stay warm even across dataset rewrites (the digest — and
+        hence the key — tracks the file content at refresh time).
+        """
+        norm = self._normalise("sparsify", dict(params))
+        norm["priority"] = REFRESH_PRIORITY
+
+        def refresh() -> None:
+            fresh = self._normalise("sparsify", dict(params))
+            fresh["priority"] = REFRESH_PRIORITY
+            priority = fresh.pop("priority")
+            key = canonical_body({"endpoint": "sparsify", **fresh})
+            self.cache.put(key, self._compute("sparsify", fresh, priority))
+
+        task = self.scheduler.add(name, interval, refresh, delay=delay)
+        return task.describe()
+
+    # -- introspection -------------------------------------------------------
+    def status(self) -> dict:
+        with self._datasets_lock:
+            datasets = len(self._datasets)
+        return {
+            "uptime_s": time.monotonic() - self.started,
+            "queue": self.queue.stats(),
+            "cache": self.cache.stats(),
+            "datasets_loaded": datasets,
+            "schedules": self.scheduler.tasks(),
+            "workers": len(self._workers),
+            "mc_workers": self.config.mc_workers,
+        }
+
+    def metrics(self) -> dict:
+        document = self.meter.snapshot()
+        document["cache"] = self.cache.stats()
+        return document

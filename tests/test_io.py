@@ -1,9 +1,18 @@
 """Edge-list I/O round trips and error handling."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import UncertainGraph
-from repro.datasets import flickr_like, read_edge_list, write_edge_list
+from repro.datasets import (
+    dataset_digest,
+    flickr_like,
+    format_edge_list,
+    graph_digest,
+    read_edge_list,
+    write_edge_list,
+)
 from repro.exceptions import GraphError
 
 
@@ -69,3 +78,98 @@ def test_precision_preserved(tmp_path):
     assert read_edge_list(path).probability("0", "1") == pytest.approx(
         0.123456789, abs=1e-9
     )
+
+
+def test_roundtrip_bit_identical(tmp_path):
+    # repr() serialisation: the awkward cases a fixed-precision format
+    # loses — 17-significant-digit values, subnormal-adjacent tiny
+    # probabilities, and 1 - 2^-53.
+    probs = [0.1, 0.3333333333333333, 0.9999999999999999, 5e-324, 0.7 * 0.3]
+    g = UncertainGraph([(i, i + 1, p) for i, p in enumerate(probs)])
+    path = tmp_path / "exact.txt"
+    write_edge_list(g, path)
+    back = read_edge_list(path)
+    for i, p in enumerate(probs):
+        assert back.probability(str(i), str(i + 1)) == p  # exact, not approx
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1.0,
+                  exclude_min=True, allow_nan=False),
+        min_size=1, max_size=30,
+    )
+)
+def test_roundtrip_bit_identical_property(tmp_path_factory, probs):
+    g = UncertainGraph([(i, i + 1, p) for i, p in enumerate(probs)])
+    path = tmp_path_factory.mktemp("io") / "g.txt"
+    write_edge_list(g, path)
+    back = read_edge_list(path)
+    for i, p in enumerate(probs):
+        assert back.probability(str(i), str(i + 1)) == p
+    # A second round trip is a fixed point: same bytes, same digest.
+    path2 = tmp_path_factory.mktemp("io") / "g2.txt"
+    write_edge_list(back, path2)
+    assert path.read_text().splitlines()[1:] == path2.read_text().splitlines()[1:]
+    assert graph_digest(back) == graph_digest(g)
+
+
+@pytest.mark.parametrize("vertex", ["has space", "tab\tsep", "new\nline",
+                                    "comment#start", "#", ""])
+def test_unserialisable_edge_token_rejected_at_write(tmp_path, vertex):
+    g = UncertainGraph([(vertex, "ok", 0.5)])
+    with pytest.raises(GraphError, match="serialis"):
+        write_edge_list(g, tmp_path / "bad.txt")
+
+
+def test_unserialisable_isolated_token_rejected_at_write(tmp_path):
+    g = UncertainGraph([("a", "b", 0.5)], vertices=["lone some"])
+    with pytest.raises(GraphError, match="serialis"):
+        write_edge_list(g, tmp_path / "bad.txt")
+
+
+def test_unserialisable_token_never_written(tmp_path):
+    # The rejection happens before the file is created/overwritten in a
+    # mis-parseable state: both directions of the regression.
+    path = tmp_path / "g.txt"
+    with pytest.raises(GraphError):
+        write_edge_list(UncertainGraph([("u v", "w", 0.5)]), path)
+    # Had the write gone through, the reader would have seen 4 tokens:
+    path.write_text("u v w 0.5\n")
+    with pytest.raises(GraphError):
+        read_edge_list(path)
+
+
+def test_hash_token_silently_misparsed_without_write_guard(tmp_path):
+    # Documents the read-side failure the write guard prevents: '#'
+    # starts a comment, so an unguarded write would silently drop data.
+    path = tmp_path / "g.txt"
+    path.write_text("a #b 0.5\n")
+    g = read_edge_list(path)
+    assert g.number_of_edges() == 0  # the line degenerated to a bare vertex
+
+
+def test_dataset_digest_tracks_content(tmp_path):
+    a = tmp_path / "a.txt"
+    b = tmp_path / "b.txt"
+    a.write_text("x y 0.5\n")
+    b.write_text("x y 0.5\n")
+    assert dataset_digest(a) == dataset_digest(b)
+    b.write_text("x y 0.25\n")
+    assert dataset_digest(a) != dataset_digest(b)
+
+
+def test_graph_digest_name_independent(small_power_law):
+    renamed = small_power_law.copy(name="something else entirely")
+    assert graph_digest(renamed) == graph_digest(small_power_law)
+    mutated = small_power_law.copy()
+    u, v, p = next(iter(mutated.edges()))
+    mutated.set_probability(u, v, p / 2)
+    assert graph_digest(mutated) != graph_digest(small_power_law)
+
+
+def test_format_edge_list_matches_file(tmp_path, small_sparse):
+    path = tmp_path / "g.txt"
+    write_edge_list(small_sparse, path)
+    assert path.read_text() == format_edge_list(small_sparse)

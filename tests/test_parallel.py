@@ -376,3 +376,53 @@ class TestStratumWeightCache:
     def test_r_zero_single_stratum(self, triangle):
         estimator = StratifiedEstimator(triangle, n_samples=8, r=0)
         assert estimator.stratum_weights() == pytest.approx([1.0])
+
+
+class TestExecutorLifecycle:
+    """No process pool outlives a completed job batch (the server contract)."""
+
+    def test_close_reaps_pool(self, graph):
+        import multiprocessing
+
+        baseline = parallel_module.active_pool_count()
+        children_before = set(multiprocessing.active_children())
+        query = DegreeQuery(graph.number_of_vertices())
+        with ParallelBatchExecutor(
+            graph, query, workers=2, chunk_size=CHUNK
+        ) as executor:
+            executor.run(N_SAMPLES, rng=0)
+            assert parallel_module.active_pool_count() == baseline + 1
+        assert parallel_module.active_pool_count() == baseline
+        assert executor._pool is None
+        # close(wait=True) reaps the worker processes themselves, not
+        # just the executor handle.
+        assert set(multiprocessing.active_children()) <= children_before
+
+    def test_estimator_context_manager_reaps_pool(self, graph):
+        baseline = parallel_module.active_pool_count()
+        query = DegreeQuery(graph.number_of_vertices())
+        with MonteCarloEstimator(
+            graph, n_samples=N_SAMPLES, batch_size=CHUNK, workers=2
+        ) as estimator:
+            estimator.run(query, rng=0)
+            assert parallel_module.active_pool_count() == baseline + 1
+        assert estimator._executor is None
+        assert parallel_module.active_pool_count() == baseline
+
+    def test_close_is_idempotent_and_reusable(self, graph):
+        query = DegreeQuery(graph.number_of_vertices())
+        executor = ParallelBatchExecutor(graph, query, workers=2, chunk_size=CHUNK)
+        first = executor.run(N_SAMPLES, rng=4)
+        executor.close()
+        executor.close()
+        # A closed executor lazily rebuilds its pool on the next run.
+        again = executor.run(N_SAMPLES, rng=4)
+        executor.close()
+        assert np.array_equal(first, again, equal_nan=True)
+
+    def test_serial_executor_registers_no_pool(self, graph):
+        baseline = parallel_module.active_pool_count()
+        query = DegreeQuery(graph.number_of_vertices())
+        with ParallelBatchExecutor(graph, query, workers=1) as executor:
+            executor.run(N_SAMPLES, rng=0)
+            assert parallel_module.active_pool_count() == baseline

@@ -1,0 +1,308 @@
+"""Server building blocks: queue, artifact cache, meter, scheduler.
+
+Each component is exercised in isolation with injected clocks and
+plain threads — no HTTP, no sparsification.  The integration suite
+(``test_server_api.py``) covers the assembled service.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exceptions import AdmissionError, ServerError
+from repro.server import (
+    ArtifactCache,
+    PriorityJobQueue,
+    Scheduler,
+    ThroughputMeter,
+)
+
+
+class FakeClock:
+    """Deterministic injectable monotonic clock."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestPriorityJobQueue:
+    def test_priority_ordering(self):
+        q = PriorityJobQueue(max_depth=10)
+        q.submit("c", {}, priority=30)
+        q.submit("a", {}, priority=10)
+        q.submit("b", {}, priority=20)
+        kinds = [q.claim(timeout=0).kind for _ in range(3)]
+        assert kinds == ["a", "b", "c"]
+
+    def test_fifo_within_priority(self):
+        q = PriorityJobQueue(max_depth=10)
+        for i in range(5):
+            q.submit(f"job{i}", {}, priority=20)
+        kinds = [q.claim(timeout=0).kind for _ in range(5)]
+        assert kinds == [f"job{i}" for i in range(5)]
+
+    def test_admission_control_overflow(self):
+        q = PriorityJobQueue(max_depth=2)
+        q.submit("a", {})
+        q.submit("b", {})
+        with pytest.raises(AdmissionError, match="full"):
+            q.submit("c", {})
+        assert q.stats()["rejected"] == 1
+        # Claiming frees a slot: admission tracks *pending* depth.
+        q.claim(timeout=0)
+        q.submit("c", {})
+        assert q.depth == 2
+
+    def test_claim_timeout_returns_none(self):
+        q = PriorityJobQueue(max_depth=2)
+        assert q.claim(timeout=0.01) is None
+
+    def test_run_job_and_wait_relay_result_and_error(self):
+        q = PriorityJobQueue(max_depth=4)
+        ok = q.submit("ok", {"x": 2})
+        bad = q.submit("bad", {})
+
+        def execute(job):
+            if job.kind == "bad":
+                raise ValueError("boom")
+            return job.params["x"] * 21
+
+        q.run_job(q.claim(timeout=0), execute)
+        q.run_job(q.claim(timeout=0), execute)
+        assert ok.wait(timeout=1) == 42
+        with pytest.raises(ValueError, match="boom"):
+            bad.wait(timeout=1)
+        stats = q.stats()
+        assert stats["completed"] == 1 and stats["failed"] == 1
+
+    def test_close_wakes_blocked_claimers(self):
+        q = PriorityJobQueue(max_depth=4)
+        claims: list = []
+        started = threading.Event()
+
+        def blocked_claim():
+            started.set()
+            claims.append(q.claim())
+
+        claimer = threading.Thread(target=blocked_claim)
+        claimer.start()
+        started.wait(5)
+        q.close()
+        claimer.join(timeout=5)
+        assert claims == [None]
+
+    def test_close_fails_pending_jobs_and_refuses_new_work(self):
+        q = PriorityJobQueue(max_depth=4)
+        stranded = q.submit("stranded", {})
+        q.close()
+        with pytest.raises(ServerError, match="closed"):
+            stranded.wait(timeout=1)
+        with pytest.raises(ServerError, match="closed"):
+            q.submit("late", {})
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ServerError):
+            PriorityJobQueue(max_depth=0)
+
+
+class TestArtifactCache:
+    def test_lru_eviction_bound(self):
+        cache = ArtifactCache(capacity=3)
+        for key in "abcd":
+            cache.put(key, key.encode())
+        assert len(cache) == 3
+        assert cache.get("a") is None  # evicted (oldest)
+        assert cache.get("d") == b"d"
+        assert cache.stats()["evictions"] == 1
+
+    def test_lru_access_refreshes_recency(self):
+        cache = ArtifactCache(capacity=2)
+        cache.put("a", b"a")
+        cache.put("b", b"b")
+        cache.get("a")          # a becomes most recent
+        cache.put("c", b"c")    # evicts b, not a
+        assert cache.get("a") == b"a"
+        assert cache.get("b") is None
+
+    def test_get_or_compute_caches_once(self):
+        cache = ArtifactCache(capacity=4)
+        calls = []
+        value, cached = cache.get_or_compute("k", lambda: calls.append(1) or b"v")
+        assert (value, cached) == (b"v", False)
+        value, cached = cache.get_or_compute("k", lambda: calls.append(1) or b"v2")
+        assert (value, cached) == (b"v", True)
+        assert len(calls) == 1
+
+    def test_single_flight_concurrent_identical_compute_once(self):
+        cache = ArtifactCache(capacity=4)
+        n = 8
+        barrier = threading.Barrier(n)
+        computed = []
+        compute_entered = threading.Event()
+        release = threading.Event()
+
+        def compute():
+            computed.append(threading.get_ident())
+            compute_entered.set()
+            release.wait(5)  # hold every follower in the flight
+            return b"artifact-bytes"
+
+        results: list = [None] * n
+
+        def request(i):
+            barrier.wait()
+            if i == 0:
+                results[i] = cache.get_or_compute("k", compute)
+            else:
+                compute_entered.wait(5)  # guarantee followers join, not lead
+                results[i] = cache.get_or_compute("k", compute)
+
+        threads = [threading.Thread(target=request, args=(i,)) for i in range(n)]
+        for t in threads:
+            t.start()
+        compute_entered.wait(5)
+        release.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert len(computed) == 1, "single flight must compute exactly once"
+        bodies = {value for value, _ in results}
+        assert bodies == {b"artifact-bytes"}, "every caller shares one artifact"
+        served_without_compute = sum(1 for _, cached in results if cached)
+        assert served_without_compute == n - 1
+        stats = cache.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] + stats["single_flight_joins"] == n - 1
+
+    def test_failed_flight_propagates_and_is_not_cached(self):
+        cache = ArtifactCache(capacity=4)
+
+        def explode():
+            raise RuntimeError("transient")
+
+        with pytest.raises(RuntimeError, match="transient"):
+            cache.get_or_compute("k", explode)
+        # The failure is not cached: the next caller recomputes.
+        value, cached = cache.get_or_compute("k", lambda: b"ok")
+        assert (value, cached) == (b"ok", False)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ServerError):
+            ArtifactCache(capacity=0)
+
+
+class TestThroughputMeter:
+    def test_rates_over_window(self):
+        clock = FakeClock()
+        meter = ThroughputMeter(window=60.0, clock=clock)
+        for _ in range(10):
+            clock.advance(1.0)
+            meter.record("sparsify", 0.01, worlds=0)
+            meter.record("estimate", 0.02, worlds=500)
+        # 20 requests / 10 elapsed seconds (window not yet full).
+        assert meter.queries_per_second() == pytest.approx(2.0)
+        assert meter.queries_per_second("estimate") == pytest.approx(1.0)
+        assert meter.queries_per_second("nope") == 0.0
+        assert meter.worlds_per_second() == pytest.approx(500.0)
+
+    def test_window_expires_old_observations(self):
+        clock = FakeClock()
+        meter = ThroughputMeter(window=10.0, clock=clock)
+        meter.record("sparsify", 0.01)
+        clock.advance(100.0)
+        assert meter.queries_per_second() == 0.0
+        # Totals are cumulative even when the window empties.
+        assert meter.snapshot()["total_requests"] == 1
+
+    def test_latency_percentiles(self):
+        clock = FakeClock()
+        meter = ThroughputMeter(clock=clock)
+        for ms in range(1, 101):  # 1..100 ms
+            meter.record("sparsify", ms / 1000.0)
+        p = meter.latency_percentiles("sparsify")
+        assert p["p50"] == pytest.approx(0.050)
+        assert p["p90"] == pytest.approx(0.090)
+        assert p["p99"] == pytest.approx(0.099)
+        assert meter.latency_percentiles("missing") == {
+            "p50": 0.0, "p90": 0.0, "p99": 0.0
+        }
+
+    def test_snapshot_shape(self):
+        clock = FakeClock()
+        meter = ThroughputMeter(clock=clock)
+        meter.record("estimate", 0.5, worlds=200)
+        clock.advance(2.0)
+        doc = meter.snapshot()
+        assert doc["total_worlds"] == 200
+        assert doc["worlds_per_second"] == pytest.approx(100.0)
+        endpoint = doc["endpoints"]["estimate"]
+        assert endpoint["requests"] == 1
+        assert endpoint["latency_s"]["p50"] == pytest.approx(0.5)
+
+
+class TestScheduler:
+    def test_tick_determinism(self):
+        clock = FakeClock()
+        scheduler = Scheduler(clock=clock)
+        fired: list[str] = []
+        scheduler.add("a", 10.0, lambda: fired.append("a"))
+        scheduler.add("b", 15.0, lambda: fired.append("b"))
+        sequence = []
+        for now in (5, 10, 15, 20, 30, 30):
+            clock.now = float(now)
+            sequence.append(scheduler.tick())
+        # a fires at 10, 20, 30; b at 15, 30 — ties break by name, a
+        # second tick at the same instant fires nothing.
+        assert sequence == [[], ["a"], ["b"], ["a"], ["a", "b"], []]
+        assert fired == ["a", "b", "a", "a", "b"]
+
+    def test_missed_intervals_run_once_and_are_counted(self):
+        clock = FakeClock()
+        scheduler = Scheduler(clock=clock)
+        runs: list[float] = []
+        task = scheduler.add("t", 10.0, lambda: runs.append(clock.now))
+        clock.now = 95.0  # 9 intervals elapsed, all missed but one
+        assert scheduler.tick() == ["t"]
+        assert len(runs) == 1 and task.runs == 1
+        assert task.missed == 8
+        assert task.next_run == pytest.approx(100.0)
+
+    def test_action_error_is_recorded_not_raised(self):
+        clock = FakeClock()
+        scheduler = Scheduler(clock=clock)
+
+        def explode():
+            raise RuntimeError("refresh failed")
+
+        task = scheduler.add("t", 5.0, explode)
+        clock.now = 5.0
+        assert scheduler.tick() == ["t"]
+        assert "refresh failed" in task.last_error
+        clock.now = 100.0
+        scheduler.tick()  # still scheduled, still alive
+
+    def test_delay_and_remove_and_replace(self):
+        clock = FakeClock()
+        scheduler = Scheduler(clock=clock)
+        fired: list[str] = []
+        scheduler.add("t", 100.0, lambda: fired.append("early"), delay=1.0)
+        clock.now = 1.0
+        assert scheduler.tick() == ["t"]
+        scheduler.add("t", 100.0, lambda: fired.append("replaced"))
+        clock.now = 101.0
+        scheduler.tick()
+        assert fired == ["early", "replaced"]
+        assert scheduler.remove("t") is True
+        assert scheduler.remove("t") is False
+        assert scheduler.tasks() == []
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ServerError):
+            Scheduler(clock=FakeClock()).add("t", 0.0, lambda: None)

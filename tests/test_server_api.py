@@ -1,0 +1,344 @@
+"""The assembled job server: service semantics + the HTTP surface.
+
+The load-bearing contracts:
+
+- a repeated request with identical parameters is served from the
+  artifact cache with *zero recomputation* and a *byte-identical*
+  response body,
+- N concurrent identical requests compute at most once (single flight),
+- the artifact equals what a direct library call produces (the cache
+  is transparent),
+- admission control sheds overflow with 429,
+- estimate jobs never leak a process pool past their completion.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+import repro.sampling.parallel as parallel_module
+from repro.core import sparsify
+from repro.datasets import format_edge_list, twitter_like, write_edge_list
+from repro.exceptions import AdmissionError, ServerError
+from repro.server import ServerConfig, SparsifierService, start_server
+
+N_VERTICES = 60
+
+
+@pytest.fixture(scope="module")
+def dataset(tmp_path_factory):
+    path = tmp_path_factory.mktemp("serve") / "graph.txt"
+    write_edge_list(twitter_like(n=N_VERTICES, avg_degree=10, seed=1), path)
+    return str(path)
+
+
+@pytest.fixture()
+def service(dataset):
+    with SparsifierService(ServerConfig(workers=2)) as svc:
+        yield svc
+
+
+SPARSIFY = dict(alpha=0.4, variant="GDB^A", seed=0)
+
+
+class TestServiceCore:
+    def test_repeat_is_cached_byte_identical_zero_recompute(self, service, dataset):
+        body1, hit1 = service.handle("sparsify", {"dataset": dataset, **SPARSIFY})
+        body2, hit2 = service.handle("sparsify", {"dataset": dataset, **SPARSIFY})
+        assert (hit1, hit2) == (False, True)
+        assert body1 == body2  # byte-identical
+        # Zero recomputation: exactly one job ever reached the queue.
+        assert service.queue.stats()["submitted"] == 1
+
+    def test_artifact_matches_direct_library_call(self, service, dataset):
+        body, _ = service.handle("sparsify", {"dataset": dataset, **SPARSIFY})
+        document = json.loads(body)
+        from repro.datasets import read_edge_list
+
+        graph = read_edge_list(dataset)
+        expected = sparsify(
+            graph, SPARSIFY["alpha"], variant=SPARSIFY["variant"],
+            rng=SPARSIFY["seed"],
+        )
+        assert document["artifact"] == format_edge_list(expected, header=False)
+        assert document["edges"] == expected.number_of_edges()
+
+    def test_concurrent_identical_requests_compute_once(self, service, dataset):
+        n = 6
+        barrier = threading.Barrier(n)
+        results: list = [None] * n
+
+        def request(i):
+            barrier.wait()
+            results[i] = service.handle(
+                "sparsify", {"dataset": dataset, "alpha": 0.5,
+                             "variant": "EMD^A", "seed": 3}
+            )
+
+        threads = [threading.Thread(target=request, args=(i,)) for i in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        bodies = {body for body, _ in results}
+        assert len(bodies) == 1, "all callers must share one artifact"
+        # At most one computation: single flight collapses the burst.
+        assert service.queue.stats()["submitted"] == 1
+        assert sum(1 for _, hit in results if hit) == n - 1
+
+    def test_seed_and_params_partition_the_cache(self, service, dataset):
+        body_a, _ = service.handle("sparsify", {"dataset": dataset, **SPARSIFY})
+        body_b, hit = service.handle(
+            "sparsify", {"dataset": dataset, **{**SPARSIFY, "seed": 1}}
+        )
+        assert not hit
+        assert body_a != body_b
+
+    def test_dataset_rewrite_invalidates_via_digest(self, service, tmp_path):
+        path = tmp_path / "mutable.txt"
+        write_edge_list(twitter_like(n=40, avg_degree=8, seed=2), path)
+        body1, _ = service.handle(
+            "sparsify", {"dataset": str(path), "alpha": 0.6, "seed": 0}
+        )
+        write_edge_list(twitter_like(n=40, avg_degree=8, seed=9), path)
+        body2, hit = service.handle(
+            "sparsify", {"dataset": str(path), "alpha": 0.6, "seed": 0}
+        )
+        assert not hit and body1 != body2
+
+    def test_estimate_deterministic_and_pool_reaped(self, dataset):
+        baseline = parallel_module.active_pool_count()
+        with SparsifierService(ServerConfig(workers=1, mc_workers=2)) as svc:
+            params = {"dataset": dataset, "query": "reliability",
+                      "samples": 40, "pairs": 10, "seed": 7}
+            body1, hit1 = svc.handle("estimate", params)
+            # No process pool outlives the completed job batch.
+            assert parallel_module.active_pool_count() == baseline
+            body2, hit2 = svc.handle("estimate", params)
+        assert (hit1, hit2) == (False, True)
+        assert body1 == body2
+        assert parallel_module.active_pool_count() == baseline
+
+    def test_grid_endpoint_rows(self, service, dataset):
+        body, _ = service.handle(
+            "grid", {"dataset": dataset, "alphas": [0.4, 0.6],
+                     "h_values": [0.05], "seed": 0}
+        )
+        cells = json.loads(body)["cells"]
+        assert [(c["alpha"], c["h"]) for c in cells] == [(0.4, 0.05), (0.6, 0.05)]
+        assert all(c["objective"] >= 0.0 for c in cells)
+
+    def test_admission_control_sheds_overflow(self, service, dataset, monkeypatch):
+        release = threading.Event()
+        original = service._run_sparsify
+
+        def slow_sparsify(norm):
+            release.wait(30)
+            return original(norm)
+
+        monkeypatch.setattr(service, "_run_sparsify", slow_sparsify)
+        monkeypatch.setattr(service.queue, "max_depth", 1)
+        errors: list = []
+        done: list = []
+
+        def request(alpha):
+            try:
+                done.append(service.handle(
+                    "sparsify", {"dataset": dataset, "alpha": alpha, "seed": 0}
+                ))
+            except AdmissionError as error:
+                errors.append(error)
+
+        # 2 workers occupy themselves, 1 fits the queue, the rest shed.
+        threads = [
+            threading.Thread(target=request, args=(0.40 + 0.01 * i,))
+            for i in range(6)
+        ]
+        for t in threads:
+            t.start()
+        deadline = time.time() + 10
+        while not errors and time.time() < deadline:
+            time.sleep(0.01)
+        release.set()
+        for t in threads:
+            t.join(timeout=60)
+        assert errors, "overflow submissions must raise AdmissionError"
+        assert len(done) + len(errors) == 6
+        assert service.queue.stats()["rejected"] == len(errors)
+
+    def test_bad_requests_rejected(self, service, dataset):
+        with pytest.raises(ServerError, match="alpha"):
+            service.handle("sparsify", {"dataset": dataset})
+        with pytest.raises(ValueError, match="variant"):
+            service.handle(
+                "sparsify", {"dataset": dataset, "alpha": 0.4, "variant": "XXL"}
+            )
+        with pytest.raises(ServerError, match="dataset"):
+            service.handle("sparsify", {"alpha": 0.4})
+        with pytest.raises(ServerError, match="cannot read"):
+            service.handle("sparsify", {"dataset": "/nonexistent", "alpha": 0.4})
+        with pytest.raises(ServerError, match="unknown parameters"):
+            service.handle(
+                "sparsify", {"dataset": dataset, "alpha": 0.4, "typo": 1}
+            )
+        with pytest.raises(ServerError, match="unknown endpoint"):
+            service.handle("evaluate", {"dataset": dataset})
+
+    def test_scheduled_refresh_warms_the_cache(self, service, dataset):
+        params = {"dataset": dataset, "alpha": 0.45, "variant": "GDB^A",
+                  "seed": 0}
+        service.schedule_resparsify("warm", params, interval=3600.0)
+        # Fire the schedule by hand (the driver thread isn't running in
+        # tests): afterwards the first interactive request is a hit.
+        fired = service.scheduler.tick(time.monotonic() + 3601.0)
+        assert fired == ["warm"]
+        body, hit = service.handle("sparsify", params)
+        assert hit, "the refresh must have warmed the cache"
+        assert json.loads(body)["alpha"] == 0.45
+        [schedule] = service.status()["schedules"]
+        assert schedule["runs"] == 1 and schedule["last_error"] is None
+
+    def test_status_and_metrics_documents(self, service, dataset):
+        service.handle("sparsify", {"dataset": dataset, **SPARSIFY})
+        service.handle("sparsify", {"dataset": dataset, **SPARSIFY})
+        status = service.status()
+        assert status["queue"]["completed"] == 1
+        assert status["datasets_loaded"] == 1
+        metrics = service.metrics()
+        assert metrics["total_requests"] == 2
+        assert metrics["cache"]["hits"] == 1
+        assert set(metrics["endpoints"]["sparsify"]["latency_s"]) == {
+            "p50", "p90", "p99"
+        }
+
+
+class TestHTTPSurface:
+    @pytest.fixture(scope="class")
+    def server(self, dataset):
+        with start_server(ServerConfig(port=0, workers=2)) as server:
+            yield server
+
+    @staticmethod
+    def _post(server, path, document):
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{server.port}{path}",
+            data=json.dumps(document).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return (response.status, response.headers.get("X-Repro-Cache"),
+                    response.read())
+
+    @staticmethod
+    def _get(server, path):
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{server.port}{path}", timeout=60
+        ) as response:
+            return response.status, response.read()
+
+    def test_sparsify_roundtrip_and_cache_header(self, server, dataset):
+        document = {"dataset": dataset, "alpha": 0.4, "variant": "GDB^A",
+                    "seed": 0}
+        status1, cache1, body1 = self._post(server, "/sparsify", document)
+        status2, cache2, body2 = self._post(server, "/sparsify", document)
+        assert (status1, status2) == (200, 200)
+        assert (cache1, cache2) == ("miss", "hit")
+        assert body1 == body2
+        artifact = json.loads(body1)["artifact"]
+        assert len(artifact.splitlines()) >= json.loads(body1)["edges"]
+
+    def test_estimate_and_metrics(self, server, dataset):
+        status, _, body = self._post(server, "/estimate", {
+            "dataset": dataset, "query": "reliability", "samples": 30,
+            "pairs": 5, "seed": 2,
+        })
+        assert status == 200
+        assert 0.0 <= json.loads(body)["estimate"] <= 1.0
+        status, body = self._get(server, "/metrics")
+        metrics = json.loads(body)
+        assert status == 200
+        assert metrics["total_worlds"] >= 30
+        assert "estimate" in metrics["endpoints"]
+
+    def test_status_and_healthz(self, server):
+        status, body = self._get(server, "/status")
+        assert status == 200 and "queue" in json.loads(body)
+        status, body = self._get(server, "/healthz")
+        assert status == 200 and json.loads(body) == {"ok": True}
+
+    def test_http_error_codes(self, server, dataset):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post(server, "/sparsify", {"dataset": dataset})
+        assert excinfo.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post(server, "/nonsense", {})
+        assert excinfo.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._get(server, "/nonsense")
+        assert excinfo.value.code == 404
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{server.port}/sparsify", data=b"not json{{",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_queue_overflow_maps_to_429(self, server, dataset):
+        service = server.service
+        release = threading.Event()
+        original = service._run_sparsify
+
+        def slow_sparsify(norm):
+            release.wait(30)
+            return original(norm)
+
+        service._run_sparsify = slow_sparsify
+        saved_depth = service.queue.max_depth
+        service.queue.max_depth = 1
+        codes: list[int] = []
+
+        def request(alpha):
+            try:
+                status, _, _ = self._post(server, "/sparsify", {
+                    "dataset": dataset, "alpha": alpha, "seed": 0,
+                })
+                codes.append(status)
+            except urllib.error.HTTPError as error:
+                codes.append(error.code)
+
+        try:
+            threads = [
+                threading.Thread(target=request, args=(0.60 + 0.01 * i,))
+                for i in range(6)
+            ]
+            for t in threads:
+                t.start()
+            deadline = time.time() + 10
+            while 429 not in codes and time.time() < deadline:
+                time.sleep(0.01)
+            release.set()
+            for t in threads:
+                t.join(timeout=60)
+        finally:
+            service._run_sparsify = original
+            service.queue.max_depth = saved_depth
+            release.set()
+        assert codes.count(429) >= 1
+        assert codes.count(200) == 6 - codes.count(429)
+
+    def test_schedule_endpoint(self, server, dataset):
+        status, _, body = self._post(server, "/schedule", {
+            "name": "nightly", "interval_s": 3600.0,
+            "params": {"dataset": dataset, "alpha": 0.5, "seed": 0},
+        })
+        assert status == 200
+        assert json.loads(body)["name"] == "nightly"
+        status, body = self._get(server, "/status")
+        names = [s["name"] for s in json.loads(body)["schedules"]]
+        assert "nightly" in names
