@@ -37,6 +37,7 @@ prefix is a prefix of the ``alpha_2`` one).
 
 from __future__ import annotations
 
+import threading
 import warnings
 
 import numpy as np
@@ -217,7 +218,11 @@ class BackbonePlan:
       backbone containing peel 1 spans each connected component.
 
     Construction is cheap (array grabs only); peels, the local-degree
-    ranking and per-seed backbones are computed on first use.
+    ranking and per-seed backbones are computed on first use.  All lazy
+    state is guarded by one re-entrant lock, so a single plan can be
+    shared by concurrent threads (e.g. the job server's workers) — calls
+    that mutate or read lazy structures serialise, and every caller sees
+    fully-built peels.
     """
 
     def __init__(self, graph: UncertainGraph) -> None:
@@ -226,6 +231,7 @@ class BackbonePlan:
         self.edge_vertices = graph.edge_index_array()
         self.probabilities = np.array(graph.probability_array(), dtype=np.float64)
         self.m = len(self.probabilities)
+        self._lock = threading.RLock()
         self._forests: list[np.ndarray] = []
         self._peel_rank = np.zeros(self.m, dtype=np.int64)
         self._unpeeled: "np.ndarray | None" = None  # sorted-order ids left
@@ -239,11 +245,13 @@ class BackbonePlan:
         preprocessing depends only on the graph (e.g. the NI peel
         structure, keyed ``("ni_peel", max_weight)``) park it here so
         every caller sharing the plan shares the work.  ``factory`` runs
-        at most once per ``key``.
+        at most once per ``key`` (concurrent callers serialise on the
+        plan lock; ``factory`` may re-enter other plan methods).
         """
-        if key not in self._cache:
-            self._cache[key] = factory()
-        return self._cache[key]
+        with self._lock:
+            if key not in self._cache:
+                self._cache[key] = factory()
+            return self._cache[key]
 
     # -- nested forest peels ----------------------------------------------
     @property
@@ -253,36 +261,40 @@ class BackbonePlan:
         Ranks appear as peels are computed (:meth:`ensure_forests`); the
         full decomposition assigns every edge a positive rank.
         """
-        view = self._peel_rank.view()
+        with self._lock:
+            view = self._peel_rank.view()
         view.setflags(write=False)
         return view
 
     @property
     def forests_computed(self) -> int:
         """Number of forest peels computed so far."""
-        return len(self._forests)
+        with self._lock:
+            return len(self._forests)
 
     def forest(self, index: int) -> np.ndarray:
         """Edge ids of peel ``index`` (0-based), in acceptance order."""
-        self.ensure_forests(index + 1)
-        return self._forests[index]
+        with self._lock:
+            self.ensure_forests(index + 1)
+            return self._forests[index]
 
     def ensure_forests(self, count: int) -> None:
         """Compute forest peels until ``count`` exist (or edges run out)."""
-        if self._unpeeled is None:
-            order = np.argsort(-self.probabilities, kind="stable")
-            self._unpeeled = order
-        while len(self._forests) < count and len(self._unpeeled):
-            cand = self._unpeeled
-            uf = ArrayUnionFind(self.n)
-            accepted = uf.union_batch(
-                self.edge_vertices[cand, 0], self.edge_vertices[cand, 1]
-            )
-            forest = cand[accepted]
-            forest.setflags(write=False)
-            self._unpeeled = cand[~accepted]
-            self._forests.append(forest)
-            self._peel_rank[forest] = len(self._forests)
+        with self._lock:
+            if self._unpeeled is None:
+                order = np.argsort(-self.probabilities, kind="stable")
+                self._unpeeled = order
+            while len(self._forests) < count and len(self._unpeeled):
+                cand = self._unpeeled
+                uf = ArrayUnionFind(self.n)
+                accepted = uf.union_batch(
+                    self.edge_vertices[cand, 0], self.edge_vertices[cand, 1]
+                )
+                forest = cand[accepted]
+                forest.setflags(write=False)
+                self._unpeeled = cand[~accepted]
+                self._forests.append(forest)
+                self._peel_rank[forest] = len(self._forests)
 
     def forest_prefix(
         self,
@@ -298,6 +310,12 @@ class BackbonePlan:
         to ``max_forests`` peels, truncated at the edge budget.  Nested
         across alphas by construction.
         """
+        with self._lock:
+            return self._forest_prefix_locked(alpha, spanning_fraction, max_forests)
+
+    def _forest_prefix_locked(
+        self, alpha: float, spanning_fraction: float, max_forests: int
+    ) -> np.ndarray:
         target = target_edge_count(self.m, alpha)
         self.ensure_forests(1)
         first = self._forests[0] if self._forests else np.empty(0, dtype=np.int64)
@@ -360,12 +378,13 @@ class BackbonePlan:
                     None if rng is None else int(rng),
                     tuple(sorted(kwargs.items())),
                 )
+        with self._lock:
             if key is not None and key in self._cache:
                 return self._cache[key]
-        ids = self._instantiate(alpha, method, rng, kwargs)
-        if key is not None:
-            self._cache[key] = ids
-        return ids
+            ids = self._instantiate(alpha, method, rng, kwargs)
+            if key is not None:
+                self._cache[key] = ids
+            return ids
 
     def _instantiate(self, alpha, method, rng, kwargs) -> np.ndarray:
         if method == "bgi":

@@ -7,9 +7,11 @@ example, and a plain-text edge-list reader/writer.
 
 from repro.datasets.forest_fire import forest_fire_sample
 from repro.datasets.io import (
+    content_digest,
     dataset_digest,
     format_edge_list,
     graph_digest,
+    parse_edge_list,
     read_edge_list,
     write_edge_list,
 )
@@ -28,6 +30,7 @@ from repro.datasets.synthetic import (
 __all__ = [
     "barabasi_albert_uncertain",
     "beta_probability_sampler",
+    "content_digest",
     "dataset_digest",
     "densify",
     "erdos_renyi_uncertain",
@@ -38,6 +41,7 @@ __all__ = [
     "format_edge_list",
     "graph_digest",
     "grid_uncertain",
+    "parse_edge_list",
     "read_edge_list",
     "twitter_like",
     "write_edge_list",

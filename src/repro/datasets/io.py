@@ -77,6 +77,17 @@ def write_edge_list(graph: UncertainGraph, path: "str | os.PathLike") -> None:
         fh.write(content)
 
 
+def content_digest(data: bytes) -> str:
+    """SHA-256 hex digest of in-memory dataset bytes.
+
+    Callers that must bind a digest to the *exact* content they parse
+    (the artifact server) read the file once and feed the same bytes to
+    both this function and :func:`parse_edge_list`, closing the
+    read/digest race a separate :func:`dataset_digest` call would leave.
+    """
+    return hashlib.sha256(data).hexdigest()
+
+
 def dataset_digest(path: "str | os.PathLike") -> str:
     """SHA-256 hex digest of a dataset file's bytes.
 
@@ -102,6 +113,46 @@ def graph_digest(graph: UncertainGraph) -> str:
     return hashlib.sha256(content.encode("utf-8")).hexdigest()
 
 
+def parse_edge_list(
+    text: str, name: str = "", source: str = "<string>"
+) -> UncertainGraph:
+    """Parse edge-list *text* into an :class:`UncertainGraph`.
+
+    The in-memory counterpart of :func:`read_edge_list` — callers that
+    already hold the file's bytes (and have digested them) parse the
+    same content instead of re-reading a file that may have changed.
+    ``source`` labels error messages.
+
+    Raises
+    ------
+    GraphError
+        On malformed lines or out-of-range probabilities.
+    """
+    graph = UncertainGraph(name=name)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) == 1:
+            graph.add_vertex(parts[0])
+            continue
+        if len(parts) != 3:
+            raise GraphError(
+                f"{source}:{lineno}: expected 'u v p' or a bare vertex, "
+                f"got {raw.rstrip()!r}"
+            )
+        u, v, p_raw = parts
+        try:
+            p = float(p_raw)
+        except ValueError:
+            raise GraphError(
+                f"{source}:{lineno}: probability is not a number: {p_raw!r}"
+            ) from None
+        graph.add_edge(u, v, p)
+    return graph
+
+
 def read_edge_list(path: "str | os.PathLike", name: str = "") -> UncertainGraph:
     """Parse a ``u v p`` edge list back into an :class:`UncertainGraph`.
 
@@ -110,27 +161,10 @@ def read_edge_list(path: "str | os.PathLike", name: str = "") -> UncertainGraph:
     GraphError
         On malformed lines or out-of-range probabilities.
     """
-    graph = UncertainGraph(name=name or os.path.basename(os.fspath(path)))
     with open(path, "r", encoding="utf-8") as fh:
-        for lineno, raw in enumerate(fh, start=1):
-            line = raw.split("#", 1)[0].strip()
-            if not line:
-                continue
-            parts = line.split()
-            if len(parts) == 1:
-                graph.add_vertex(parts[0])
-                continue
-            if len(parts) != 3:
-                raise GraphError(
-                    f"{path}:{lineno}: expected 'u v p' or a bare vertex, "
-                    f"got {raw.rstrip()!r}"
-                )
-            u, v, p_raw = parts
-            try:
-                p = float(p_raw)
-            except ValueError:
-                raise GraphError(
-                    f"{path}:{lineno}: probability is not a number: {p_raw!r}"
-                ) from None
-            graph.add_edge(u, v, p)
-    return graph
+        text = fh.read()
+    return parse_edge_list(
+        text,
+        name=name or os.path.basename(os.fspath(path)),
+        source=os.fspath(path),
+    )

@@ -61,6 +61,11 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            # Set when the request body was not (fully) read: leftover
+            # body bytes on a kept-alive connection would be parsed as
+            # the next request, desyncing every response after this one.
+            self.send_header("Connection", "close")
         for name, value in (extra_headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
@@ -70,10 +75,27 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
         self._send(status, canonical_body({"error": message}))
 
     def _read_json(self) -> dict:
-        length = int(self.headers.get("Content-Length") or 0)
+        raw_length = self.headers.get("Content-Length") or "0"
+        try:
+            length = int(raw_length)
+        except ValueError:
+            self.close_connection = True
+            raise ReproError(
+                f"invalid Content-Length: {raw_length!r}"
+            ) from None
+        if length < 0:
+            self.close_connection = True
+            raise ReproError(f"invalid Content-Length: {raw_length!r}")
         if length > MAX_BODY_BYTES:
+            self.close_connection = True
             raise ReproError(f"request body larger than {MAX_BODY_BYTES} bytes")
         raw = self.rfile.read(length) if length else b""
+        if len(raw) < length:
+            self.close_connection = True
+            raise ReproError(
+                f"request body truncated: expected {length} bytes, "
+                f"got {len(raw)}"
+            )
         if not raw:
             return {}
         try:

@@ -99,11 +99,12 @@ class ArtifactCache:
                     self._inflight[key] = flight
                     break  # this caller leads
             # Follower: wait out the leader, then share its outcome.
+            # A leader failure is re-raised with its original type, so
+            # followers map to the same HTTP status the leader did
+            # (e.g. AdmissionError -> 429, not a blanket 400/500).
             flight.event.wait()
             if flight.error is not None:
-                raise ServerError(
-                    f"shared computation for {key!r} failed: {flight.error}"
-                ) from flight.error
+                raise flight.error
             with self._lock:
                 self.joined += 1
             return flight.value, True

@@ -23,6 +23,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -113,10 +114,20 @@ class PriorityJobQueue:
 
         Returns ``None`` when the queue is closed or the wait times out.
         """
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._not_empty:
             while not self._heap:
-                if self._closed or not self._not_empty.wait(timeout):
+                if self._closed:
                     return None
+                if deadline is None:
+                    self._not_empty.wait()
+                else:
+                    # Wait on the *remaining* time so a wakeup that loses
+                    # the job to another claimer (or a spurious one) can't
+                    # extend the total block beyond the requested timeout.
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._not_empty.wait(remaining):
+                        return None
             _, _, job = heapq.heappop(self._heap)
             job.state = RUNNING
             self.running += 1

@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from repro.core.backbone import BackbonePlan
 from repro.core.grid import gdb_grid, objective_rows
 from repro.core.sparsify import parse_variant, sparsify
-from repro.datasets.io import dataset_digest, format_edge_list, read_edge_list
+from repro.datasets.io import content_digest, format_edge_list, parse_edge_list
 from repro.exceptions import ServerError
 from repro.server.cache import ArtifactCache
 from repro.server.meter import ThroughputMeter
@@ -240,27 +240,40 @@ class SparsifierService:
             raise ServerError(f"dataset path {dataset!r} escapes datasets root")
         return resolved
 
-    def _digest(self, dataset: str) -> str:
+    def _read_bytes(self, dataset: str) -> bytes:
         path = self._resolve_path(dataset)
         try:
-            return dataset_digest(path)
+            with open(path, "rb") as fh:
+                return fh.read()
         except OSError as error:
             raise ServerError(f"cannot read dataset {dataset!r}: {error}") \
                 from error
 
-    def _dataset(self, dataset: str, digest: str) -> dict:
-        """The parsed graph (plus a lazily-built plan slot) for a digest.
+    def _digest(self, dataset: str) -> str:
+        """Content digest of a dataset, binding it to the parsed graph.
 
-        Content-addressed: rewriting a file changes its digest and loads
-        a fresh entry, so stale graphs are never served.  Bounded LRU
-        like the artifact cache.
+        Reads the file *once*, digests those bytes, and registers the
+        graph parsed from the very same bytes — so the digest in a cache
+        key can never name content other than what the job computes on,
+        even if the file is rewritten mid-request.
         """
+        raw = self._read_bytes(dataset)
+        digest = content_digest(raw)
+        self._register(dataset, digest, raw)
+        return digest
+
+    def _register(self, dataset: str, digest: str, raw: bytes) -> dict:
+        """Parse ``raw`` (whose digest is ``digest``) into the registry."""
         with self._datasets_lock:
             entry = self._datasets.get(digest)
             if entry is not None:
                 self._datasets.move_to_end(digest)
                 return entry
-        graph = read_edge_list(self._resolve_path(dataset))
+        graph = parse_edge_list(
+            raw.decode("utf-8"),
+            name=os.path.basename(dataset) or dataset,
+            source=dataset,
+        )
         entry = {"graph": graph, "plan": None, "lock": threading.Lock()}
         with self._datasets_lock:
             entry = self._datasets.setdefault(digest, entry)
@@ -269,9 +282,35 @@ class SparsifierService:
                 self._datasets.popitem(last=False)
         return entry
 
+    def _dataset(self, dataset: str, digest: str) -> dict:
+        """The parsed graph (plus a lazily-built plan slot) for a digest.
+
+        Content-addressed: rewriting a file changes its digest and loads
+        a fresh entry, so stale graphs are never served.  Bounded LRU
+        like the artifact cache.  Normally a registry hit (``_digest``
+        registers the graph at request time); if the entry was evicted
+        in between, the file is re-read and *verified* against the
+        requested digest, so an artifact cached under a digest always
+        derives from bytes with that digest.
+        """
+        with self._datasets_lock:
+            entry = self._datasets.get(digest)
+            if entry is not None:
+                self._datasets.move_to_end(digest)
+                return entry
+        raw = self._read_bytes(dataset)
+        if content_digest(raw) != digest:
+            raise ServerError(
+                f"dataset {dataset!r} changed on disk since the request was "
+                f"admitted (content digest mismatch); retry the request"
+            )
+        return self._register(dataset, digest, raw)
+
     def _plan_for(self, entry: dict) -> BackbonePlan:
         """The dataset's memoised BackbonePlan (the plan-reuse hook):
-        one Kruskal decomposition serves every request on the graph."""
+        one Kruskal decomposition serves every request on the graph.
+        ``entry['lock']`` serialises construction; the plan itself is
+        internally locked, so concurrent jobs may share it freely."""
         with entry["lock"]:
             if entry["plan"] is None:
                 entry["plan"] = BackbonePlan(entry["graph"])

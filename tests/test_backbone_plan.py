@@ -78,6 +78,38 @@ class TestSeededEquivalence:
                 bgi_backbone_legacy(graph, 0.5, rng=2, **kwargs),
             )
 
+    def test_concurrent_sharing_is_serially_equivalent(self, graph):
+        # One plan shared by many threads (the job server's workers)
+        # must produce bit-identical backbones to a serial plan: the
+        # lazy peel/memo state is lock-protected, so no interleaving
+        # can corrupt peel ranks.
+        import threading
+
+        reference = BackbonePlan(graph)
+        expected = {
+            (alpha, seed): reference.backbone(alpha, rng=seed)
+            for alpha in ALPHAS for seed in (0, 7)
+        }
+        for trial in range(3):
+            shared = BackbonePlan(graph)
+            results: dict = {}
+            barrier = threading.Barrier(len(expected))
+
+            def build(alpha, seed, plan=shared, out=results, gate=barrier):
+                gate.wait()
+                out[(alpha, seed)] = plan.backbone(alpha, rng=seed)
+
+            threads = [
+                threading.Thread(target=build, args=key) for key in expected
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            for key, want in expected.items():
+                assert np.array_equal(results[key], want), key
+            assert np.array_equal(shared.peel_rank, reference.peel_rank)
+
     def test_random_and_local_degree_ride_the_plan(self, graph, plan):
         for alpha in (0.25, 0.6):
             assert np.array_equal(

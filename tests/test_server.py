@@ -8,6 +8,7 @@ plain threads — no HTTP, no sparsification.  The integration suite
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
@@ -112,6 +113,33 @@ class TestPriorityJobQueue:
         with pytest.raises(ServerError):
             PriorityJobQueue(max_depth=0)
 
+    def test_claim_timeout_is_a_deadline_across_wakeups(self):
+        # A claimer that is notified but loses the job (or wakes
+        # spuriously) must not restart the full timeout: total blocking
+        # stays bounded by the requested timeout.
+        q = PriorityJobQueue(max_depth=4)
+        started = threading.Event()
+        result: list = []
+
+        def claimer():
+            started.set()
+            result.append(q.claim(timeout=0.3))
+
+        thread = threading.Thread(target=claimer)
+        start = time.monotonic()
+        thread.start()
+        started.wait(5)
+        # Hammer the condition with job-less notifications; each one
+        # would restart a full 0.3 s wait under restart-on-wakeup.
+        for _ in range(10):
+            with q._not_empty:
+                q._not_empty.notify_all()
+            time.sleep(0.05)
+        thread.join(timeout=5)
+        elapsed = time.monotonic() - start
+        assert result == [None]
+        assert elapsed < 1.0, f"claim blocked {elapsed:.2f}s for a 0.3s timeout"
+
 
 class TestArtifactCache:
     def test_lru_eviction_bound(self):
@@ -192,6 +220,45 @@ class TestArtifactCache:
         # The failure is not cached: the next caller recomputes.
         value, cached = cache.get_or_compute("k", lambda: b"ok")
         assert (value, cached) == (b"ok", False)
+
+    def test_follower_receives_leader_error_with_original_type(self):
+        # Followers must see the leader's exact exception class so the
+        # HTTP layer maps the same status (AdmissionError -> 429, not a
+        # blanket 400/500 from a ServerError wrapper).
+        cache = ArtifactCache(capacity=4)
+        leader_entered = threading.Event()
+        release = threading.Event()
+        errors: list = []
+
+        def explode():
+            leader_entered.set()
+            release.wait(5)
+            raise AdmissionError("queue full")
+
+        def leader():
+            try:
+                cache.get_or_compute("k", explode)
+            except BaseException as error:  # noqa: BLE001
+                errors.append(("leader", error))
+
+        def follower():
+            leader_entered.wait(5)
+            try:
+                cache.get_or_compute("k", explode)
+            except BaseException as error:  # noqa: BLE001
+                errors.append(("follower", error))
+
+        threads = [threading.Thread(target=leader),
+                   threading.Thread(target=follower)]
+        for t in threads:
+            t.start()
+        leader_entered.wait(5)
+        time.sleep(0.05)  # let the follower join the flight
+        release.set()
+        for t in threads:
+            t.join(timeout=5)
+        assert len(errors) == 2
+        assert all(type(error) is AdmissionError for _, error in errors)
 
     def test_rejects_bad_capacity(self):
         with pytest.raises(ServerError):

@@ -112,6 +112,27 @@ class TestServiceCore:
         )
         assert not hit and body1 != body2
 
+    def test_rewrite_between_digest_and_execution_cannot_mislabel(
+        self, service, tmp_path
+    ):
+        # The digest is computed from the same bytes the job parses:
+        # a rewrite after request admission must never let the *new*
+        # graph be computed (and cached) under the *old* digest.
+        original = twitter_like(n=40, avg_degree=8, seed=2)
+        path = tmp_path / "racy.txt"
+        write_edge_list(original, path)
+        digest = service._digest(str(path))
+        write_edge_list(twitter_like(n=50, avg_degree=6, seed=9), path)
+        # Registry still holds the graph parsed from the digested bytes.
+        entry = service._dataset(str(path), digest)
+        assert entry["graph"].number_of_edges() == original.number_of_edges()
+        # If the entry was evicted, the re-read is verified against the
+        # digest instead of silently computing on the rewritten file.
+        with service._datasets_lock:
+            service._datasets.clear()
+        with pytest.raises(ServerError, match="changed on disk"):
+            service._dataset(str(path), digest)
+
     def test_estimate_deterministic_and_pool_reaped(self, dataset):
         baseline = parallel_module.active_pool_count()
         with SparsifierService(ServerConfig(workers=1, mc_workers=2)) as svc:
@@ -331,6 +352,33 @@ class TestHTTPSurface:
             release.set()
         assert codes.count(429) >= 1
         assert codes.count(200) == 6 - codes.count(429)
+
+    def test_unread_body_closes_keep_alive_connection(self, server):
+        # An error response sent before the body was read must carry
+        # 'Connection: close' (and actually close), or the unread body
+        # bytes would be parsed as the next request on the connection.
+        import socket
+
+        with socket.create_connection(
+            ("127.0.0.1", server.port), timeout=10
+        ) as sock:
+            sock.sendall(
+                b"POST /sparsify HTTP/1.1\r\n"
+                b"Host: localhost\r\n"
+                b"Content-Length: 2000000\r\n"
+                b"\r\n"
+            )  # body intentionally never sent
+            chunks = []
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break  # server closed the connection
+                chunks.append(chunk)
+            response = b"".join(chunks)
+        status_line = response.split(b"\r\n", 1)[0]
+        assert b"400" in status_line
+        headers = response.split(b"\r\n\r\n", 1)[0].lower()
+        assert b"connection: close" in headers
 
     def test_schedule_endpoint(self, server, dataset):
         status, _, body = self._post(server, "/schedule", {
