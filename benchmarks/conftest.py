@@ -44,3 +44,27 @@ def emit():
         print(text)
 
     return _emit
+
+
+@pytest.fixture
+def emit_json():
+    """Archive a machine-readable payload to benchmarks/results/BENCH_<name>.json.
+
+    The JSON twin of :func:`emit`: CI jobs and downstream tooling parse
+    these instead of scraping the formatted tables.  Payloads must be
+    plain JSON-serialisable dicts; the file is rewritten atomically-ish
+    (single write) and pretty-printed for diffability.
+    """
+    import json
+
+    def _emit_json(name: str, payload: dict) -> Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        out = RESULTS_DIR / f"BENCH_{name}.json"
+        out.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"\n[bench] wrote {out}")
+        return out
+
+    return _emit_json

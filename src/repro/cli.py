@@ -25,6 +25,14 @@ Generate a synthetic uncertain graph / estimate a query by Monte-Carlo::
 
     repro-sparsify generate flickr graph.txt --n 500 --seed 7
     repro-sparsify estimate graph.txt --query reliability --samples 500
+
+Convert between the text and binary dataset formats, then sweep an
+``(alpha, h)`` grid out-of-core over 4 worker processes (results are
+bit-identical for any worker count)::
+
+    repro-sparsify convert graph.txt graph.rpbg
+    repro-sparsify grid graph.rpbg --alphas 0.2,0.4 --h-values 0.05,0.2 \
+        --workers 4 --seed 7
 """
 
 from __future__ import annotations
@@ -49,8 +57,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_format_flag(cmd) -> None:
+        cmd.add_argument(
+            "--format", choices=["auto", "text", "binary"], default="auto",
+            dest="input_format",
+            help="input format; 'auto' (default) sniffs the binary magic. "
+            "Binary inputs are memory-mapped (out-of-core).",
+        )
+
     sparsify_cmd = sub.add_parser("sparsify", help="sparsify an edge-list file")
     sparsify_cmd.add_argument("input", help="input edge list (u v p per line)")
+    add_format_flag(sparsify_cmd)
     sparsify_cmd.add_argument(
         "output",
         help="output edge list path; with several alphas it is a template "
@@ -130,6 +147,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "estimate", help="Monte-Carlo estimate of a query on a graph file"
     )
     estimate_cmd.add_argument("input", help="edge-list path")
+    add_format_flag(estimate_cmd)
     estimate_cmd.add_argument(
         "--query", choices=["reliability", "distance", "pagerank",
                             "clustering", "connectivity"],
@@ -163,6 +181,66 @@ def _build_parser() -> argparse.ArgumentParser:
         "0 means one per CPU; results are identical for any value)",
     )
 
+    convert_cmd = sub.add_parser(
+        "convert", help="convert a dataset between text and binary formats"
+    )
+    convert_cmd.add_argument("input", help="input dataset (text or binary)")
+    convert_cmd.add_argument("output", help="output dataset path")
+    convert_cmd.add_argument(
+        "--to", choices=["auto", "text", "binary"], default="auto",
+        dest="target_format",
+        help="output format; 'auto' (default) picks the opposite of the "
+        "input's format",
+    )
+    convert_cmd.add_argument(
+        "--allow-relabel", action="store_true",
+        help="permit text graphs whose vertices are not the dense ids "
+        "0..n-1: labels are mapped to dense ids in first-seen order "
+        "(lossy — the original labels are not stored in the binary file)",
+    )
+
+    grid_cmd = sub.add_parser(
+        "grid",
+        help="sweep GDB over an (alpha, h) grid, optionally sharded over "
+        "worker processes",
+    )
+    grid_cmd.add_argument("input", help="input dataset (text or binary)")
+    add_format_flag(grid_cmd)
+    grid_cmd.add_argument(
+        "--alphas", required=True,
+        help="comma-separated sparsification ratios, e.g. 0.2,0.4",
+    )
+    grid_cmd.add_argument(
+        "--h-values", required=True,
+        help="comma-separated entropy parameters in [0, 1], e.g. 0.05,0.2",
+    )
+    grid_cmd.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (default 1 = serial; 0 means one per CPU; "
+        "results are bit-identical for any value)",
+    )
+    grid_cmd.add_argument(
+        "--seed", type=int, default=0,
+        help="backbone RNG seed (default 0; sharded runs require a seed)",
+    )
+    grid_cmd.add_argument(
+        "--engine", choices=["vector", "loop"], default="vector",
+        help="GDB sweep engine (default vector)",
+    )
+    grid_cmd.add_argument(
+        "--relative", action="store_true",
+        help="minimise relative instead of absolute discrepancy",
+    )
+    grid_cmd.add_argument(
+        "--backbone-method", choices=["bgi", "random", "local_degree"],
+        default="bgi", help="backbone construction method (default bgi)",
+    )
+    grid_cmd.add_argument(
+        "--output", default=None,
+        help="write the objective rows as JSON to this path instead of "
+        "pretty-printing to stdout",
+    )
+
     diagnose_cmd = sub.add_parser(
         "diagnose", help="sparsification diagnostics for a (G, G') pair"
     )
@@ -179,18 +257,50 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _parse_alphas(raw: str) -> list[float]:
+def _parse_floats(raw: str, flag: str) -> list[float]:
     try:
-        alphas = [float(part) for part in raw.split(",") if part.strip()]
+        values = [float(part) for part in raw.split(",") if part.strip()]
     except ValueError:
-        raise ReproError(f"invalid --alpha value: {raw!r}") from None
-    if not alphas:
-        raise ReproError(f"invalid --alpha value: {raw!r}")
-    return alphas
+        raise ReproError(f"invalid {flag} value: {raw!r}") from None
+    if not values:
+        raise ReproError(f"invalid {flag} value: {raw!r}")
+    return values
+
+
+def _parse_alphas(raw: str) -> list[float]:
+    return _parse_floats(raw, "--alpha")
+
+
+def _load_graph(path: str, input_format: str = "auto"):
+    """Load a dataset as ``(graph, dataset_path_or_None)``.
+
+    Binary inputs come back as a memory-mapped
+    :class:`~repro.core.array_graph.EdgeArrayGraph` plus the dataset
+    path (so sharded commands can hand workers the file to mmap); text
+    inputs as a parsed :class:`UncertainGraph` and ``None``.
+    """
+    from repro.datasets.binary_io import is_binary_file, read_binary
+
+    binary = (
+        input_format == "binary"
+        or (input_format == "auto" and is_binary_file(path))
+    )
+    if binary:
+        return read_binary(path, mmap=True).graph(), path
+    return read_edge_list(path), None
 
 
 def _cmd_sparsify(args: argparse.Namespace) -> int:
-    graph = read_edge_list(args.input)
+    graph, dataset_path = _load_graph(args.input, args.input_format)
+    if dataset_path is not None:
+        from repro.core import parse_variant
+
+        if parse_variant(args.variant).method not in ("gdb", "emd", "lp"):
+            raise ReproError(
+                f"variant {args.variant!r} needs the dict-backed graph API; "
+                "binary (out-of-core) inputs support the array-native "
+                "GDB/EMD/LP variants"
+            )
     alphas = _parse_alphas(args.alpha)
     if len(alphas) > 1 and "{alpha}" not in args.output:
         raise ReproError(
@@ -288,7 +398,7 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     )
     from repro.sampling import MonteCarloEstimator
 
-    graph = read_edge_list(args.input)
+    graph, dataset_path = _load_graph(args.input, args.input_format)
     n = graph.number_of_vertices()
     if args.weighted and args.query != "distance":
         raise EstimationError(
@@ -315,6 +425,7 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         batched=not args.no_batch,
         workers=workers,
+        dataset=dataset_path if workers > 1 else None,
     )
     try:
         result = estimator.run(query, rng=args.seed)
@@ -332,6 +443,80 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     print(f"evaluation:       {evaluation}")
     print(f"scalar estimate:  {result.scalar_estimate():.6f}")
     print(f"95% CI width:     {result.confidence_width():.6f}")
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from repro.datasets.binary_io import (
+        is_binary_file,
+        read_binary,
+        write_binary,
+    )
+
+    input_binary = is_binary_file(args.input)
+    target = args.target_format
+    if target == "auto":
+        target = "text" if input_binary else "binary"
+    if input_binary and target == "binary":
+        raise ReproError(f"{args.input} is already a binary dataset")
+    if not input_binary and target == "text":
+        raise ReproError(f"{args.input} is already a text dataset")
+    if target == "binary":
+        graph = read_edge_list(args.input)
+        try:
+            dense = set(graph.vertices()) == set(range(graph.number_of_vertices()))
+        except TypeError:
+            dense = False
+        header = write_binary(graph, args.output, allow_relabel=args.allow_relabel)
+        note = "" if dense else " (vertices relabelled to dense ids)"
+        print(
+            f"{args.input} -> {args.output}: {header.n_vertices} vertices, "
+            f"{header.n_edges} edges, digest {header.digest[:16]}…{note}"
+        )
+    else:
+        dataset = read_binary(args.input, mmap=True, verify=True)
+        write_edge_list(dataset.graph(), args.output)
+        print(
+            f"{args.input} -> {args.output}: "
+            f"{dataset.header.n_vertices} vertices, "
+            f"{dataset.header.n_edges} edges (digest verified)"
+        )
+    return 0
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.grid import gdb_grid, objective_rows
+    from repro.sampling.parallel import resolve_workers
+
+    graph, dataset_path = _load_graph(args.input, args.input_format)
+    alphas = _parse_floats(args.alphas, "--alphas")
+    h_values = _parse_floats(args.h_values, "--h-values")
+    workers = resolve_workers(args.workers if args.workers != 0 else None)
+    results = gdb_grid(
+        graph, alphas, h_values,
+        relative=args.relative,
+        backbone_method=args.backbone_method,
+        rng=args.seed,
+        engine=args.engine,
+        build_graphs=False,
+        workers=workers,
+        dataset=dataset_path if workers > 1 else None,
+    )
+    rows = objective_rows(results)
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(rows, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {len(rows)} grid cells to {args.output}")
+        return 0
+    print(f"{'alpha':>8} {'h':>8} {'objective':>14} {'sweeps':>7}")
+    for row in rows:
+        print(
+            f"{row['alpha']:>8g} {row['h']:>8g} "
+            f"{row['objective']:>14.6g} {row['sweeps']:>7d}"
+        )
     return 0
 
 
@@ -354,6 +539,10 @@ def main(argv: "list[str] | None" = None) -> int:
             return _cmd_generate(args)
         if args.command == "estimate":
             return _cmd_estimate(args)
+        if args.command == "convert":
+            return _cmd_convert(args)
+        if args.command == "grid":
+            return _cmd_grid(args)
         if args.command == "serve":
             from repro.server.__main__ import run_from_args
 

@@ -21,6 +21,7 @@ from repro.core.backbone import (
     random_backbone,
     target_edge_count,
 )
+from repro.core.array_graph import EdgeArrayGraph
 from repro.core.diagnostics import SparsificationReport, analyze_sparsification
 from repro.core.discrepancy import (
     SparsificationState,
@@ -40,6 +41,7 @@ from repro.core.entropy import (
 from repro.core.gdb import GDBConfig, gdb, gdb_refine
 from repro.core.grid import GridCell, gdb_grid, objective_rows
 from repro.core.lp import lp_assign_probabilities, lp_sparsify
+from repro.core.shard import GridShard, grid_shards, sharded_gdb_grid
 from repro.core.sweep import SweepPlan, build_sweep_plan, greedy_edge_coloring
 from repro.core.sparsify import (
     VariantSpec,
@@ -53,10 +55,12 @@ from repro.core.uncertain_graph import UncertainGraph
 __all__ = [
     "BackbonePlan",
     "EMDConfig",
+    "EdgeArrayGraph",
     "SparsificationReport",
     "analyze_sparsification",
     "GDBConfig",
     "GridCell",
+    "GridShard",
     "SparsificationState",
     "SweepPlan",
     "UncertainGraph",
@@ -81,6 +85,7 @@ __all__ = [
     "gdb_refine",
     "graph_entropy",
     "greedy_edge_coloring",
+    "grid_shards",
     "local_degree_backbone",
     "lp_assign_probabilities",
     "lp_sparsify",
@@ -89,6 +94,7 @@ __all__ = [
     "parse_variant",
     "random_backbone",
     "relative_entropy",
+    "sharded_gdb_grid",
     "sparsify",
     "target_edge_count",
 ]

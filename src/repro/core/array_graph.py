@@ -1,0 +1,240 @@
+"""Array-backed uncertain-graph view for out-of-core execution.
+
+:class:`EdgeArrayGraph` is a read-only, array-native stand-in for
+:class:`~repro.core.uncertain_graph.UncertainGraph`: it holds only the
+dense edge arrays (``src``/``dst`` int64, probabilities float64) and
+implements exactly the *array-view protocol* every vectorised layer
+consumes —
+
+- ``number_of_vertices()`` / ``number_of_edges()`` / ``vertices()`` /
+  ``vertex_indexer()``,
+- ``edge_index_array()`` / ``probability_array()`` /
+  ``expected_degree_array()``,
+
+which is all that :class:`~repro.core.discrepancy.SparsificationState`,
+:class:`~repro.core.backbone.BackbonePlan` (``bgi`` / ``random``
+methods) and :class:`~repro.sampling.worlds.WorldSampler` touch.  There
+is **no dict-of-dicts adjacency**: a 10M-edge graph costs three arrays
+instead of gigabytes of per-edge dict entries, and when the arrays are
+``np.memmap``-backed (:func:`repro.datasets.binary_io.read_binary` with
+``mmap=True``) the edge data pages in lazily from disk and is shared
+read-only between processes.
+
+Vertices are always the dense ids ``0 .. n-1``; anything needing the
+scalar dict API (``neighbors``, ``degree``, per-edge mutation) should
+:meth:`materialise` first — the methods simply don't exist here, so
+misuse fails fast with ``AttributeError`` instead of silently scaling
+badly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import GraphError, ProbabilityError
+
+
+def _read_only(array: np.ndarray) -> np.ndarray:
+    """Best-effort write protection (memmaps opened ``r`` already are)."""
+    if array.flags.writeable and array.flags.owndata:
+        array.setflags(write=False)
+    return array
+
+
+class EdgeArrayGraph:
+    """Read-only uncertain graph defined by dense edge arrays.
+
+    Parameters
+    ----------
+    n:
+        Vertex count; vertices are the dense ids ``0 .. n-1``.
+    src, dst:
+        ``(m,)`` int64 endpoint arrays (may be ``np.memmap``-backed).
+    probabilities:
+        ``(m,)`` float64 probabilities in ``(0, 1]``, aligned with
+        ``src``/``dst``.
+    name:
+        Optional label (mirrors ``UncertainGraph.name``).
+    validate:
+        Run the array-level well-formedness checks (range, self-loops,
+        duplicates, probability domain).  Trusted sources — e.g. a
+        digest-verified binary dataset — pass ``False`` to keep loading
+        O(header).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        src: np.ndarray,
+        dst: np.ndarray,
+        probabilities: np.ndarray,
+        name: str = "",
+        validate: bool = True,
+    ) -> None:
+        self.n = int(n)
+        self.name = name
+        self._src = _read_only(np.asarray(src, dtype=np.int64).reshape(-1))
+        self._dst = _read_only(np.asarray(dst, dtype=np.int64).reshape(-1))
+        self._prob = _read_only(
+            np.asarray(probabilities, dtype=np.float64).reshape(-1)
+        )
+        self.m = len(self._prob)
+        if len(self._src) != self.m or len(self._dst) != self.m:
+            raise GraphError(
+                f"edge array lengths disagree: src={len(self._src)} "
+                f"dst={len(self._dst)} prob={self.m}"
+            )
+        if self.n < 0:
+            raise GraphError(f"vertex count must be non-negative, got {n}")
+        self._edge_index_cache: "np.ndarray | None" = None
+        self._indexer_cache: "dict | None" = None
+        self._expected_degree_cache: "np.ndarray | None" = None
+        self._edge_list_cache: "list | None" = None
+        self._adjacency_cache: "dict | None" = None
+        if validate:
+            self.validate()
+
+    # -- validation -----------------------------------------------------
+    def validate(self) -> None:
+        """Array-level well-formedness checks (one O(m log m) pass)."""
+        if self.m == 0:
+            return
+        lo = min(int(self._src.min()), int(self._dst.min()))
+        hi = max(int(self._src.max()), int(self._dst.max()))
+        if lo < 0 or hi >= self.n:
+            raise GraphError("endpoint id outside the vertex range")
+        if bool(np.any(self._src == self._dst)):
+            raise GraphError("self-loops are not allowed")
+        p_min = float(self._prob.min())
+        if not (p_min > 0.0 and float(self._prob.max()) <= 1.0):
+            raise ProbabilityError("edge probabilities must be in (0, 1]")
+        # Duplicate undirected edges: canonical key (min, max) per row.
+        key = (
+            np.minimum(self._src, self._dst) * np.int64(self.n)
+            + np.maximum(self._src, self._dst)
+        )
+        if len(np.unique(key)) != self.m:
+            raise GraphError("duplicate undirected edges in edge arrays")
+
+    # -- the array-view protocol ----------------------------------------
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"<EdgeArrayGraph{label} |V|={self.n} |E|={self.m}>"
+
+    def number_of_vertices(self) -> int:
+        return self.n
+
+    def number_of_edges(self) -> int:
+        return self.m
+
+    def vertices(self) -> range:
+        """Dense vertex ids ``0 .. n-1`` (a cheap sequence, not a list)."""
+        return range(self.n)
+
+    def vertex_indexer(self) -> dict:
+        """Identity map ``{i: i}`` (built lazily; most paths never ask)."""
+        if self._indexer_cache is None:
+            self._indexer_cache = {i: i for i in range(self.n)}
+        return self._indexer_cache
+
+    def edge_index_array(self) -> np.ndarray:
+        """``(m, 2)`` endpoints, column-stacked from ``src``/``dst``.
+
+        This is the one materialisation the view pays (16 bytes/edge):
+        the CSR builders index rows of a 2-column array.  Built lazily
+        and cached; the source memmaps stay untouched until first use.
+        """
+        if self._edge_index_cache is None:
+            out = np.empty((self.m, 2), dtype=np.int64)
+            out[:, 0] = self._src
+            out[:, 1] = self._dst
+            out.setflags(write=False)
+            self._edge_index_cache = out
+        return self._edge_index_cache
+
+    def probability_array(self) -> np.ndarray:
+        return self._prob
+
+    def expected_degree_array(self) -> np.ndarray:
+        """Expected degrees via one weighted bincount (no adjacency).
+
+        The endpoints are interleaved ``(src_0, dst_0, src_1, dst_1, …)``
+        so each vertex accumulates its incident probabilities in *edge
+        order* — the same left-to-right summation the dict-backed
+        ``UncertainGraph.expected_degree_array`` performs — keeping the
+        two representations bit-identical, not merely close.
+        """
+        if self._expected_degree_cache is None:
+            degrees = np.bincount(
+                self.edge_index_array().reshape(-1),
+                weights=np.repeat(self._prob, 2),
+                minlength=self.n,
+            )
+            degrees = degrees.astype(np.float64, copy=False)
+            degrees.setflags(write=False)
+            self._expected_degree_cache = degrees
+        return self._expected_degree_cache
+
+    def edge_list(self) -> list:
+        """``(u, v)`` tuples in array order (dense ids; built lazily)."""
+        if self._edge_list_cache is None:
+            self._edge_list_cache = list(
+                zip(self._src.tolist(), self._dst.tolist())
+            )
+        return self._edge_list_cache
+
+    def _adjacency(self) -> dict:
+        """Lazy ``{u: {v: p}}`` adjacency in edge-array order.
+
+        Materialises O(m) dict entries on first use — only the
+        adjacency-shaped consumers (e.g. the Local-Degree backbone) pay
+        for it; the array-native pipeline never calls this.
+        """
+        if self._adjacency_cache is None:
+            adj: dict = {v: {} for v in range(self.n)}
+            for (u, v), p in zip(self.edge_list(), self._prob.tolist()):
+                adj[u][v] = p
+                adj[v][u] = p
+            self._adjacency_cache = adj
+        return self._adjacency_cache
+
+    def neighbors(self, vertex) -> dict:
+        return self._adjacency()[vertex]
+
+    def degree(self, vertex) -> int:
+        """Number of incident edges (topological degree)."""
+        return len(self._adjacency()[vertex])
+
+    def expected_degree(self, vertex) -> float:
+        """Expected degree: sum of incident edge probabilities."""
+        return float(self.expected_degree_array()[vertex])
+
+    # -- conveniences ---------------------------------------------------
+    @property
+    def src(self) -> np.ndarray:
+        return self._src
+
+    @property
+    def dst(self) -> np.ndarray:
+        return self._dst
+
+    def edges(self):
+        """Iterate ``(u, v, p)`` triples (scalar; intended for small graphs)."""
+        for u, v, p in zip(
+            self._src.tolist(), self._dst.tolist(), self._prob.tolist()
+        ):
+            yield u, v, p
+
+    def expected_number_of_edges(self) -> float:
+        return float(self._prob.sum())
+
+    def materialise(self, name: "str | None" = None):
+        """Full :class:`UncertainGraph` copy (dict adjacency; O(m) RAM)."""
+        from repro.core.uncertain_graph import UncertainGraph
+
+        return UncertainGraph.from_edge_arrays(
+            range(self.n),
+            self.edge_index_array(),
+            np.array(self._prob),
+            name=self.name if name is None else name,
+        )

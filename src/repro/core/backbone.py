@@ -582,9 +582,14 @@ def _local_degree_order(graph: UncertainGraph) -> np.ndarray:
     degrees = {v: graph.degree(v) for v in graph.vertices()}
 
     # rank[eid] = best (lowest) nomination position across both endpoints.
+    # Ties between equal-degree neighbours break on dense vertex id, so
+    # the ranking is a pure function of the graph's content — identical
+    # whether computed on the dict adjacency or on an edge-array view in
+    # a sharded worker (adjacency *insertion* order never leaks in).
     rank: dict[int, float] = {}
     for u in graph.vertices():
-        nbrs = sorted(graph.neighbors(u), key=lambda w: -degrees[w])
+        nbrs = sorted(graph.neighbors(u),
+                      key=lambda w: (-degrees[w], indexer[w]))
         for position, w in enumerate(nbrs):
             a, b = indexer[u], indexer[w]
             eid = edge_id_of[(min(a, b), max(a, b))]

@@ -147,8 +147,6 @@ class SparsificationState:
 
     def __init__(self, original: UncertainGraph) -> None:
         self.graph = original
-        self.indexer = original.vertex_indexer()
-        self.vertex_of = list(original.vertices())
         self.n = original.number_of_vertices()
         self.edge_vertices = original.edge_index_array()  # (m, 2)
         self.p_original = np.array(original.probability_array(), dtype=np.float64)
@@ -170,6 +168,21 @@ class SparsificationState:
         self.inc_indptr = np.zeros(self.n + 1, dtype=np.int64)
         np.cumsum(counts, out=self.inc_indptr[1:])
         self.inc_indptr.setflags(write=False)
+
+    @property
+    def indexer(self) -> dict:
+        """``vertex -> dense id`` map of the original graph (lazy).
+
+        Only scalar label-facing callers need this; the vectorised paths
+        never touch it, and building it eagerly would cost O(n) dict
+        entries per worker process in sharded runs.
+        """
+        return self.graph.vertex_indexer()
+
+    @property
+    def vertex_of(self) -> list:
+        """Dense id -> vertex label list of the original graph (lazy)."""
+        return list(self.graph.vertices())
 
     def incident_edges(self, vertex: int) -> np.ndarray:
         """Ids of all original edges incident to dense vertex ``vertex``.

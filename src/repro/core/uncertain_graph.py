@@ -264,9 +264,21 @@ class UncertainGraph:
         return self._edge_index_cache
 
     def expected_degree_array(self) -> np.ndarray:
-        """Expected degrees as a vector aligned with :meth:`vertex_indexer`."""
-        return np.asarray(
-            [sum(nbrs.values()) for nbrs in self._adj.values()], dtype=np.float64
+        """Expected degrees as a vector aligned with :meth:`vertex_indexer`.
+
+        Accumulated in :meth:`edge_list` order (one ``bincount`` over the
+        interleaved endpoint ids), *not* per-row insertion order: float
+        summation order is part of the bit-identity contract, and this is
+        the one order every graph representation shares —
+        ``EdgeArrayGraph`` views, worker processes rebuilding the graph
+        from shipped arrays or an mmap'd dataset, and this class — so
+        expected degrees (and everything downstream: ``D_1``, GDB
+        objectives) agree bit for bit across all of them.
+        """
+        return np.bincount(
+            self.edge_index_array().reshape(-1),
+            weights=np.repeat(self.probability_array(), 2),
+            minlength=self.number_of_vertices(),
         )
 
     # ------------------------------------------------------------------

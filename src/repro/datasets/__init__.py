@@ -2,9 +2,21 @@
 
 Flickr/Twitter proxies (see DESIGN.md's substitution note), the paper's
 synthetic densification, Forest Fire sampling [22], the Fig. 1 worked
-example, and a plain-text edge-list reader/writer.
+example, a plain-text edge-list reader/writer, and the out-of-core
+binary edge-array format (``binary_io``) whose ``mmap`` mode loads
+multi-million-edge graphs in O(header) time.
 """
 
+from repro.datasets.binary_io import (
+    BinaryDataset,
+    BinaryHeader,
+    binary_digest,
+    is_binary_file,
+    read_binary,
+    read_header,
+    write_binary,
+    write_binary_arrays,
+)
 from repro.datasets.forest_fire import forest_fire_sample
 from repro.datasets.io import (
     content_digest,
@@ -23,13 +35,17 @@ from repro.datasets.synthetic import (
     figure1_graph,
     figure1_sparsified,
     flickr_like,
+    forest_fire_like_arrays,
     grid_uncertain,
     twitter_like,
 )
 
 __all__ = [
+    "BinaryDataset",
+    "BinaryHeader",
     "barabasi_albert_uncertain",
     "beta_probability_sampler",
+    "binary_digest",
     "content_digest",
     "dataset_digest",
     "densify",
@@ -37,12 +53,18 @@ __all__ = [
     "figure1_graph",
     "figure1_sparsified",
     "flickr_like",
+    "forest_fire_like_arrays",
     "forest_fire_sample",
     "format_edge_list",
     "graph_digest",
     "grid_uncertain",
+    "is_binary_file",
     "parse_edge_list",
+    "read_binary",
     "read_edge_list",
+    "read_header",
     "twitter_like",
+    "write_binary",
+    "write_binary_arrays",
     "write_edge_list",
 ]

@@ -128,6 +128,12 @@ class MonteCarloEstimator:
         Process count for chunk evaluation; ``<= 1`` stays in-process,
         ``None`` uses one worker per CPU.  Ignored when ``batched`` is
         ``False``.
+    dataset:
+        Optional binary dataset path (or
+        :class:`~repro.datasets.binary_io.BinaryDataset`) backing
+        ``graph``: with ``workers > 1`` the pool workers ``mmap`` the
+        edge arrays from it instead of receiving them pickled.  Results
+        are unchanged — the sharded answer stays bit-identical.
 
     Examples
     --------
@@ -147,6 +153,7 @@ class MonteCarloEstimator:
         batch_size: int | None = None,
         batched: bool = True,
         workers: int | None = 1,
+        dataset=None,
     ) -> None:
         if n_samples < 1:
             raise EstimationError(f"n_samples must be positive, got {n_samples}")
@@ -159,6 +166,7 @@ class MonteCarloEstimator:
         self.batch_size = batch_size
         self.batched = batched
         self.workers = workers
+        self.dataset = dataset
         self.sampler = WorldSampler(graph)
         self._executor = None
         self._executor_query = None
@@ -181,6 +189,7 @@ class MonteCarloEstimator:
             workers=self.workers,
             chunk_size=self.batch_size,
             rng_mode="sequential",
+            dataset=self.dataset,
         )
         self._executor_query = query
         return self._executor
@@ -230,6 +239,7 @@ def repeated_estimates(
     batch_size: int | None = None,
     batched: bool = True,
     workers: int | None = 1,
+    dataset=None,
 ) -> np.ndarray:
     """Variance protocol: ``runs`` independent scalar estimates Phi_i(G).
 
@@ -241,7 +251,7 @@ def repeated_estimates(
     generators = spawn_rngs(rng, runs)
     estimator = MonteCarloEstimator(
         graph, n_samples=n_samples, batch_size=batch_size, batched=batched,
-        workers=workers,
+        workers=workers, dataset=dataset,
     )
     try:
         return np.array([

@@ -131,6 +131,27 @@ def _init_worker(
     _WORKER_STATE["edge_weights"] = most_probable_path_weights(probabilities)
 
 
+def _init_worker_from_dataset(path: str, query: "Query") -> None:
+    """Pool initializer for binary datasets: mmap instead of pickling.
+
+    Each worker maps the ``src``/``dst``/``prob`` sections read-only
+    (:func:`repro.datasets.binary_io.read_binary` with ``mmap=True``) and
+    builds its state from the mapped arrays — the same values
+    :func:`_init_worker` would have received over IPC, but shared
+    through the page cache instead of copied per process.
+    """
+    from repro.datasets.binary_io import read_binary
+
+    dataset = read_binary(path, mmap=True)
+    graph = dataset.graph()
+    _init_worker(
+        graph.number_of_vertices(),
+        graph.edge_index_array(),
+        graph.probability_array(),
+        query,
+    )
+
+
 def _pool_evaluate_masks(masks: np.ndarray) -> np.ndarray:
     """Worker task: evaluate one pre-drawn mask chunk."""
     from repro.queries.base import evaluate_query_batch
@@ -182,6 +203,16 @@ class ParallelBatchExecutor:
     rng_mode:
         ``"sequential"`` (default) or ``"spawn"`` — see the module
         docstring for the determinism contract of each.
+    dataset:
+        Optional path to the binary dataset backing ``graph`` (or a
+        :class:`~repro.datasets.binary_io.BinaryDataset` with one).
+        When given, pool workers ``mmap`` the edge arrays from disk
+        instead of receiving them pickled over IPC — the out-of-core
+        path for large graphs.  The header's vertex/edge counts are
+        checked against the sampler at construction; the values must be
+        the graph's (the answer is a pure function of the arrays, so a
+        matching dataset keeps results bit-identical to the in-IPC
+        path).
 
     The pool is created lazily on first use and reused across runs (the
     adaptive estimator issues many small draws; the variance protocol
@@ -205,6 +236,7 @@ class ParallelBatchExecutor:
         workers: "int | None" = 1,
         chunk_size: "int | None" = None,
         rng_mode: str = "sequential",
+        dataset=None,
     ) -> None:
         if rng_mode not in RNG_MODES:
             raise EstimationError(
@@ -219,8 +251,32 @@ class ParallelBatchExecutor:
         self.workers = resolve_workers(workers)
         self.chunk_size = chunk_size
         self.rng_mode = rng_mode
+        self.dataset_path = self._resolve_dataset(dataset)
         self._pool: "ProcessPoolExecutor | None" = None
         self._pool_failed = False
+
+    def _resolve_dataset(self, dataset) -> "str | None":
+        if dataset is None:
+            return None
+        from repro.datasets.binary_io import BinaryDataset, read_header
+
+        if isinstance(dataset, BinaryDataset):
+            if dataset.path is None:
+                raise EstimationError(
+                    "dataset-backed execution needs an on-disk binary "
+                    "dataset (this BinaryDataset has no path)"
+                )
+            path, header = dataset.path, dataset.header
+        else:
+            path = str(dataset)
+            header = read_header(path)
+        if header.n_vertices != self.sampler.n or header.n_edges != self.sampler.m:
+            raise EstimationError(
+                f"dataset {path!r} ({header.n_vertices} vertices, "
+                f"{header.n_edges} edges) does not match the sampler "
+                f"({self.sampler.n} vertices, {self.sampler.m} edges)"
+            )
+        return path
 
     # -- lifecycle -----------------------------------------------------------
     def __enter__(self) -> "ParallelBatchExecutor":
@@ -351,16 +407,26 @@ class ParallelBatchExecutor:
         if self._pool_failed or self.workers <= 1:
             return None
         sampler = self.sampler
-        try:
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers,
-                initializer=_init_worker,
-                initargs=(
+        if self.dataset_path is not None:
+            initializer, initargs = (
+                _init_worker_from_dataset,
+                (self.dataset_path, self.query),
+            )
+        else:
+            initializer, initargs = (
+                _init_worker,
+                (
                     sampler.n,
                     sampler.edge_vertices,
                     sampler.probabilities,
                     self.query,
                 ),
+            )
+        try:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=initializer,
+                initargs=initargs,
             )
         except Exception as error:
             self._mark_pool_failed(error)

@@ -50,6 +50,14 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--datasets-root", default=None,
                         help="confine dataset paths to this directory "
                         "(default: any readable path)")
+    parser.add_argument("--cache-spill-dir", default=None,
+                        help="directory for the artifact disk-spill tier; "
+                        "evicted artifacts are kept there and digest-"
+                        "verified on reload (default: disabled)")
+    parser.add_argument("--cache-spill-mb", type=int,
+                        default=defaults.cache_spill_mb,
+                        help="byte budget of the spill tier in MiB "
+                        f"(default {defaults.cache_spill_mb})")
     parser.add_argument("--request-timeout", type=float,
                         default=defaults.request_timeout,
                         help="seconds a request waits on its job "
@@ -68,6 +76,8 @@ def config_from_args(args: argparse.Namespace) -> ServerConfig:
         mc_workers=args.mc_workers,
         datasets_root=args.datasets_root,
         request_timeout=args.request_timeout,
+        cache_spill_dir=args.cache_spill_dir,
+        cache_spill_mb=args.cache_spill_mb,
     )
 
 

@@ -14,10 +14,20 @@ exactly one (the *leader*) computes; the rest (the *followers*) block
 on the leader's event and receive the same object.  A leader's failure
 propagates to its followers but is never cached, so a transient error
 doesn't poison the key.
+
+Disk spill: with ``spill_dir`` set, *bytes* artifacts evicted from the
+in-memory LRU are written to a size-bounded on-disk tier (the shape of
+sabnzbd's article cache) instead of being dropped.  A later lookup that
+misses memory reloads from disk, verifies the artifact's SHA-256
+against the digest recorded at spill time (a corrupted or truncated
+file is discarded, never served), and promotes the value back into
+memory.  The spill tier is itself LRU-bounded by total bytes.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
 import threading
 from collections import OrderedDict
 from typing import Any, Callable, Hashable
@@ -36,20 +46,58 @@ class _Flight:
         self.error: "BaseException | None" = None
 
 
-class ArtifactCache:
-    """Thread-safe bounded LRU map with single-flight ``get_or_compute``."""
+def _spill_name(key: Hashable) -> str:
+    """Stable on-disk filename for a cache key."""
+    material = key if isinstance(key, bytes) else repr(key).encode("utf-8")
+    return hashlib.sha256(material).hexdigest() + ".art"
 
-    def __init__(self, capacity: int = 128) -> None:
+
+class ArtifactCache:
+    """Thread-safe bounded LRU map with single-flight ``get_or_compute``.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum in-memory entries.
+    spill_dir:
+        Optional directory for the disk-spill tier; ``None`` (default)
+        disables spilling and evictions are simply dropped.
+    spill_capacity_bytes:
+        Total byte budget of the spill tier; the least recently spilled
+        artifacts are deleted beyond it.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        spill_dir: "str | None" = None,
+        spill_capacity_bytes: int = 256 << 20,
+    ) -> None:
         if capacity < 1:
             raise ServerError(f"capacity must be positive, got {capacity}")
+        if spill_capacity_bytes < 0:
+            raise ServerError(
+                f"spill capacity must be non-negative, got {spill_capacity_bytes}"
+            )
         self.capacity = capacity
+        self.spill_dir = spill_dir
+        self.spill_capacity_bytes = spill_capacity_bytes
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        #: key -> (filename, sha256 hex of the artifact bytes, size)
+        self._spilled: "OrderedDict[Hashable, tuple[str, str, int]]" = OrderedDict()
+        self._spill_bytes = 0
         self._inflight: dict[Hashable, _Flight] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.joined = 0  # followers served by another request's flight
+        self.spills = 0        # artifacts written to the disk tier
+        self.spill_hits = 0    # lookups served by reloading from disk
+        self.spill_evictions = 0  # spilled artifacts dropped for space
+        self.spill_corrupt = 0    # reloads rejected by digest verification
+        if spill_dir is not None:
+            os.makedirs(spill_dir, exist_ok=True)
 
     def __len__(self) -> int:
         with self._lock:
@@ -57,8 +105,66 @@ class ArtifactCache:
 
     def __contains__(self, key: Hashable) -> bool:
         with self._lock:
-            return key in self._entries
+            return key in self._entries or key in self._spilled
 
+    # -- spill tier (all methods called with the lock held) -----------------
+    def _evict_overflow_locked(self) -> None:
+        while len(self._entries) > self.capacity:
+            key, value = self._entries.popitem(last=False)
+            self.evictions += 1
+            self._spill_put_locked(key, value)
+
+    def _spill_put_locked(self, key: Hashable, value: Any) -> None:
+        if self.spill_dir is None or not isinstance(value, bytes):
+            return  # only byte artifacts have a canonical disk form
+        name = _spill_name(key)
+        try:
+            with open(os.path.join(self.spill_dir, name), "wb") as fh:
+                fh.write(value)
+        except OSError:
+            return  # a full/broken spill disk degrades to plain eviction
+        previous = self._spilled.pop(key, None)
+        if previous is not None:
+            self._spill_bytes -= previous[2]
+        self._spilled[key] = (name, hashlib.sha256(value).hexdigest(), len(value))
+        self._spill_bytes += len(value)
+        self.spills += 1
+        while self._spill_bytes > self.spill_capacity_bytes and self._spilled:
+            self._spill_drop_locked(next(iter(self._spilled)))
+            self.spill_evictions += 1
+
+    def _spill_drop_locked(self, key: Hashable) -> None:
+        name, _digest, size = self._spilled.pop(key)
+        self._spill_bytes -= size
+        try:
+            os.unlink(os.path.join(self.spill_dir, name))
+        except OSError:
+            pass
+
+    def _spill_load_locked(self, key: Hashable) -> "bytes | None":
+        """Reload + verify + promote a spilled artifact (None on miss)."""
+        record = self._spilled.get(key)
+        if record is None:
+            return None
+        name, digest, _size = record
+        try:
+            with open(os.path.join(self.spill_dir, name), "rb") as fh:
+                value = fh.read()
+        except OSError:
+            value = None
+        if value is None or hashlib.sha256(value).hexdigest() != digest:
+            # Lost or corrupted on disk: never serve it, forget it.
+            self._spill_drop_locked(key)
+            self.spill_corrupt += 1
+            return None
+        self._spill_drop_locked(key)
+        self.spill_hits += 1
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        self._evict_overflow_locked()
+        return value
+
+    # -- public API ---------------------------------------------------------
     def get(self, key: Hashable) -> Any:
         """Return the cached value or ``None`` (counts as hit/miss)."""
         with self._lock:
@@ -66,17 +172,20 @@ class ArtifactCache:
                 self._entries.move_to_end(key)
                 self.hits += 1
                 return self._entries[key]
+            value = self._spill_load_locked(key)
+            if value is not None:
+                return value
             self.misses += 1
             return None
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert/refresh an entry, evicting the least recently used."""
         with self._lock:
+            if key in self._spilled:
+                self._spill_drop_locked(key)  # superseded by fresh value
             self._entries[key] = value
             self._entries.move_to_end(key)
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self.evictions += 1
+            self._evict_overflow_locked()
 
     def get_or_compute(
         self, key: Hashable, compute: Callable[[], Any]
@@ -93,6 +202,9 @@ class ArtifactCache:
                     self._entries.move_to_end(key)
                     self.hits += 1
                     return self._entries[key], True
+                spilled = self._spill_load_locked(key)
+                if spilled is not None:
+                    return spilled, True
                 flight = self._inflight.get(key)
                 if flight is None:
                     flight = _Flight()
@@ -122,17 +234,15 @@ class ArtifactCache:
             self.misses += 1
             self._entries[key] = value
             self._entries.move_to_end(key)
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self.evictions += 1
+            self._evict_overflow_locked()
             del self._inflight[key]
         flight.event.set()
         return value, False
 
     def stats(self) -> dict:
         with self._lock:
-            lookups = self.hits + self.joined + self.misses
-            return {
+            lookups = self.hits + self.joined + self.spill_hits + self.misses
+            stats = {
                 "size": len(self._entries),
                 "capacity": self.capacity,
                 "hits": self.hits,
@@ -140,11 +250,28 @@ class ArtifactCache:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "hit_rate": (
-                    (self.hits + self.joined) / lookups if lookups else 0.0
+                    (self.hits + self.joined + self.spill_hits) / lookups
+                    if lookups else 0.0
                 ),
             }
+            if self.spill_dir is not None:
+                stats["spill"] = {
+                    "entries": len(self._spilled),
+                    "bytes": self._spill_bytes,
+                    "capacity_bytes": self.spill_capacity_bytes,
+                    "spills": self.spills,
+                    "hits": self.spill_hits,
+                    "evictions": self.spill_evictions,
+                    "corrupt": self.spill_corrupt,
+                }
+            return stats
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            for key in list(self._spilled):
+                self._spill_drop_locked(key)
+            self._spill_bytes = 0
             self.hits = self.misses = self.evictions = self.joined = 0
+            self.spills = self.spill_hits = 0
+            self.spill_evictions = self.spill_corrupt = 0

@@ -62,6 +62,8 @@ class ServerConfig:
     dataset_capacity: int = 16     # parsed graphs + plans kept in RAM
     request_timeout: float = 600.0  # seconds a request waits on its job
     datasets_root: "str | None" = None  # confine dataset paths when set
+    cache_spill_dir: "str | None" = None  # disk tier for evicted artifacts
+    cache_spill_mb: int = 256      # spill tier byte budget (MiB)
 
 
 def canonical_body(document: dict) -> bytes:
@@ -76,7 +78,11 @@ class SparsifierService:
     def __init__(self, config: "ServerConfig | None" = None) -> None:
         self.config = config or ServerConfig()
         self.queue = PriorityJobQueue(max_depth=self.config.queue_depth)
-        self.cache = ArtifactCache(capacity=self.config.cache_capacity)
+        self.cache = ArtifactCache(
+            capacity=self.config.cache_capacity,
+            spill_dir=self.config.cache_spill_dir,
+            spill_capacity_bytes=self.config.cache_spill_mb << 20,
+        )
         self.meter = ThroughputMeter()
         self.scheduler = Scheduler()
         self.started = time.monotonic()
@@ -249,18 +255,98 @@ class SparsifierService:
             raise ServerError(f"cannot read dataset {dataset!r}: {error}") \
                 from error
 
+    def _sniff_binary(self, dataset: str) -> bool:
+        """Whether the file starts with the binary dataset magic."""
+        from repro.datasets.binary_io import is_binary_data
+
+        path = self._resolve_path(dataset)
+        try:
+            with open(path, "rb") as fh:
+                return is_binary_data(fh.read(4))
+        except OSError as error:
+            raise ServerError(f"cannot read dataset {dataset!r}: {error}") \
+                from error
+
     def _digest(self, dataset: str) -> str:
         """Content digest of a dataset, binding it to the parsed graph.
 
-        Reads the file *once*, digests those bytes, and registers the
-        graph parsed from the very same bytes — so the digest in a cache
-        key can never name content other than what the job computes on,
-        even if the file is rewritten mid-request.
+        Text datasets: reads the file *once*, digests those bytes, and
+        registers the graph parsed from the very same bytes — so the
+        digest in a cache key can never name content other than what
+        the job computes on, even if the file is rewritten mid-request.
+
+        Binary datasets: the header's payload digest is the content
+        digest (O(header), no full read).  Registration memory-maps the
+        sections and *verifies* them against that digest, closing the
+        same rewrite race from the other side: a digest only ever keys
+        mapped content that hashes to it.
         """
+        if self._sniff_binary(dataset):
+            from repro.datasets.binary_io import binary_digest
+
+            from repro.exceptions import GraphError
+
+            path = self._resolve_path(dataset)
+            try:
+                digest = binary_digest(path)
+            except (OSError, GraphError) as error:
+                raise ServerError(
+                    f"cannot read binary dataset {dataset!r}: {error}"
+                ) from error
+            self._register_binary(dataset, digest)
+            return digest
         raw = self._read_bytes(dataset)
         digest = content_digest(raw)
         self._register(dataset, digest, raw)
         return digest
+
+    def _register_binary(self, dataset: str, digest: str) -> dict:
+        """Memory-map + digest-verify a binary dataset into the registry.
+
+        The mapped arrays are shared by every concurrent job on the
+        dataset (one page-cache copy), and verification binds the
+        registry entry to the digest used in cache keys.
+        """
+        with self._datasets_lock:
+            entry = self._datasets.get(digest)
+            if entry is not None:
+                self._datasets.move_to_end(digest)
+                return entry
+        from repro.datasets.binary_io import read_binary
+
+        from repro.exceptions import GraphError
+
+        path = self._resolve_path(dataset)
+        try:
+            ds = read_binary(
+                path, mmap=True, name=os.path.basename(dataset) or dataset
+            )
+        except (OSError, GraphError) as error:
+            raise ServerError(
+                f"cannot read binary dataset {dataset!r}: {error}"
+            ) from error
+        if ds.digest != digest:
+            raise ServerError(
+                f"dataset {dataset!r} changed on disk since the request was "
+                f"admitted (content digest mismatch); retry the request"
+            )
+        try:
+            ds.verify()
+        except GraphError as error:
+            raise ServerError(
+                f"binary dataset {dataset!r} failed digest verification: "
+                f"{error}"
+            ) from error
+        entry = {
+            "graph": ds.graph(), "plan": None, "lock": threading.Lock(),
+            "binary": True, "path": path,
+        }
+        with self._datasets_lock:
+            entry = self._datasets.setdefault(digest, entry)
+            self._datasets.move_to_end(digest)
+            while len(self._datasets) > self.config.dataset_capacity:
+                self._datasets.popitem(last=False)
+        return entry
 
     def _register(self, dataset: str, digest: str, raw: bytes) -> dict:
         """Parse ``raw`` (whose digest is ``digest``) into the registry."""
@@ -298,6 +384,9 @@ class SparsifierService:
             if entry is not None:
                 self._datasets.move_to_end(digest)
                 return entry
+        if self._sniff_binary(dataset):
+            # _register_binary rejects a digest mismatch itself.
+            return self._register_binary(dataset, digest)
         raw = self._read_bytes(dataset)
         if content_digest(raw) != digest:
             raise ServerError(
@@ -321,6 +410,12 @@ class SparsifierService:
         entry = self._dataset(norm["dataset"], norm["digest"])
         graph = entry["graph"]
         spec = parse_variant(norm["variant"])
+        if entry.get("binary") and spec.method not in ("gdb", "emd", "lp"):
+            raise ServerError(
+                f"variant {norm['variant']!r} needs the dict-backed graph "
+                "API; binary (memory-mapped) datasets support the "
+                "array-native GDB/EMD/LP variants"
+            )
         plan = self._plan_for(entry) if spec.accepts_plan else None
         result = sparsify(
             graph,
@@ -373,8 +468,14 @@ class SparsifierService:
             query = ConnectivityQuery()
         # Context-managed: the estimator's process pool (mc_workers > 1)
         # is reaped with the job, never left behind in the server.
+        # Binary datasets hand the pool their on-disk path so workers
+        # mmap the arrays instead of receiving them pickled.
+        mc_dataset = (
+            entry.get("path") if self.config.mc_workers > 1 else None
+        )
         with MonteCarloEstimator(
-            graph, n_samples=norm["samples"], workers=self.config.mc_workers
+            graph, n_samples=norm["samples"], workers=self.config.mc_workers,
+            dataset=mc_dataset,
         ) as estimator:
             result = estimator.run(query, rng=norm["seed"])
         return canonical_body({

@@ -260,3 +260,109 @@ class TestDiagnose:
         assert main(["diagnose", str(graph_file),
                      str(tmp_path / "none.txt")]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestConvert:
+    def test_text_to_binary_and_back(self, graph_file, tmp_path, capsys):
+        from repro.datasets import is_binary_file
+
+        binary = tmp_path / "graph.bin"
+        assert main(["convert", str(graph_file), str(binary)]) == 0
+        assert is_binary_file(binary)
+        assert "digest" in capsys.readouterr().out
+
+        text = tmp_path / "back.txt"
+        assert main(["convert", str(binary), str(text)]) == 0
+        assert "digest verified" in capsys.readouterr().out
+        original = read_edge_list(graph_file)
+        back = read_edge_list(text)
+        assert back.number_of_edges() == original.number_of_edges()
+        restored = {frozenset((int(u), int(v))): p for u, v, p in back.edges()}
+        assert restored == {frozenset((int(u), int(v))): p
+                            for u, v, p in original.edges()}
+
+    def test_same_format_rejected(self, graph_file, tmp_path, capsys):
+        code = main(["convert", str(graph_file), str(tmp_path / "o.txt"),
+                     "--to", "text"])
+        assert code != 0
+        assert "already" in capsys.readouterr().err
+
+    def test_non_dense_labels_need_allow_relabel(self, tmp_path, capsys):
+        source = tmp_path / "named.txt"
+        source.write_text("alice bob 0.5\nbob carol 0.25\n")
+        binary = tmp_path / "named.bin"
+        assert main(["convert", str(source), str(binary)]) != 0
+        assert "allow_relabel" in capsys.readouterr().err
+        assert main(["convert", str(source), str(binary),
+                     "--allow-relabel"]) == 0
+        assert "relabelled" in capsys.readouterr().out
+
+
+class TestGrid:
+    args = ["--alphas", "0.3,0.5", "--h-values", "0.1,0.4", "--seed", "2"]
+
+    def test_table_output(self, graph_file, capsys):
+        assert main(["grid", str(graph_file)] + self.args) == 0
+        out = capsys.readouterr().out
+        assert "objective" in out
+        assert out.count("\n") == 5  # header + 4 cells
+
+    def test_json_matches_library(self, graph_file, tmp_path, capsys):
+        import json
+
+        from repro.core import gdb_grid, objective_rows
+
+        out = tmp_path / "rows.json"
+        assert main(["grid", str(graph_file)] + self.args +
+                    ["--output", str(out)]) == 0
+        rows = json.loads(out.read_text())
+        expected = objective_rows(gdb_grid(
+            read_edge_list(graph_file), [0.3, 0.5], [0.1, 0.4],
+            rng=2, build_graphs=False,
+        ))
+        assert rows == expected
+
+    def test_workers_bit_identical_from_binary(self, graph_file, tmp_path,
+                                               capsys):
+        binary = tmp_path / "graph.bin"
+        assert main(["convert", str(graph_file), str(binary)]) == 0
+        outputs = []
+        for workers in (1, 2):
+            out = tmp_path / f"rows{workers}.json"
+            assert main(["grid", str(binary)] + self.args +
+                        ["--workers", str(workers), "--output", str(out)]) == 0
+            outputs.append(out.read_bytes())
+        assert outputs[0] == outputs[1]
+
+    def test_bad_h_values_rejected(self, graph_file, capsys):
+        code = main(["grid", str(graph_file), "--alphas", "0.3",
+                     "--h-values", "nope"])
+        assert code != 0
+        assert "--h-values" in capsys.readouterr().err
+
+
+class TestBinaryInputs:
+    @pytest.fixture
+    def binary_file(self, graph_file, tmp_path):
+        path = tmp_path / "graph.bin"
+        assert main(["convert", str(graph_file), str(path)]) == 0
+        return path
+
+    def test_sparsify_gdb_from_binary(self, binary_file, tmp_path, capsys):
+        out = tmp_path / "sparse.txt"
+        code = main(["sparsify", str(binary_file), str(out),
+                     "--alpha", "0.4", "--variant", "GDB^A", "--seed", "0"])
+        assert code == 0
+        assert out.exists()
+
+    def test_sparsify_ni_rejected_on_binary(self, binary_file, tmp_path,
+                                            capsys):
+        code = main(["sparsify", str(binary_file), str(tmp_path / "o.txt"),
+                     "--alpha", "0.4", "--variant", "NI", "--seed", "0"])
+        assert code != 0
+
+    def test_estimate_from_binary(self, binary_file, capsys):
+        code = main(["estimate", str(binary_file), "--query", "connectivity",
+                     "--samples", "20", "--seed", "1"])
+        assert code == 0
+        assert capsys.readouterr().out

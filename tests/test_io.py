@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 from repro.core import UncertainGraph
 from repro.datasets import (
     dataset_digest,
+    parse_edge_list,
     flickr_like,
     format_edge_list,
     graph_digest,
@@ -173,3 +174,114 @@ def test_format_edge_list_matches_file(tmp_path, small_sparse):
     path = tmp_path / "g.txt"
     write_edge_list(small_sparse, path)
     assert path.read_text() == format_edge_list(small_sparse)
+
+
+class TestParseEngineParity:
+    """The chunked fast parser is pinned bit-identical to the scalar loop.
+
+    Same graph (vertices, edges, insertion order, Python-float
+    probabilities), same serialisation, and the same exception type /
+    message / line number on every malformed input — the fast path is
+    an implementation detail, never an observable change.
+    """
+
+    @staticmethod
+    def both(text):
+        return (parse_edge_list(text, source="f", engine="scalar"),
+                parse_edge_list(text, source="f", engine="fast"))
+
+    def assert_identical(self, text):
+        scalar, fast = self.both(text)
+        assert list(scalar.vertices()) == list(fast.vertices())
+        assert list(scalar.edges()) == list(fast.edges())
+        assert format_edge_list(scalar) == format_edge_list(fast)
+        for _u, _v, p in fast.edges():
+            assert type(p) is float  # repr(np.float64) would break writes
+
+    def assert_same_error(self, text):
+        errors = []
+        for engine in ("scalar", "fast"):
+            with pytest.raises(Exception) as excinfo:
+                parse_edge_list(text, source="f", engine=engine)
+            errors.append(excinfo.value)
+        scalar_error, fast_error = errors
+        assert type(scalar_error) is type(fast_error)
+        assert str(scalar_error) == str(fast_error)
+
+    def test_fixture_files_identical(self, small_power_law, small_sparse):
+        for g in (small_power_law, small_sparse):
+            self.assert_identical(format_edge_list(g))
+
+    def test_structure_variants_identical(self):
+        self.assert_identical(
+            "# header\n\nv0\na b 0.5\nv1\n  c   d  0.25  # trailing\n"
+            "a b 0.75\nv0\n\n# tail\n"
+        )
+        self.assert_identical("")
+        self.assert_identical("x\ny\nz\n")
+
+    def test_repr_floats_identical(self):
+        probs = [0.1, 0.3333333333333333, 0.9999999999999999, 5e-324,
+                 0.7 * 0.3, 1.0]
+        text = "".join(f"u{i} w{i} {p!r}\n" for i, p in enumerate(probs))
+        scalar, fast = self.both(text)
+        for i, p in enumerate(probs):
+            assert fast.probability(f"u{i}", f"w{i}") == p  # exact
+        assert list(scalar.edges()) == list(fast.edges())
+
+    def test_large_input_identical(self):
+        # Big enough that the fast path runs multiple full chunks.
+        import random
+
+        rng = random.Random(11)
+        lines = []
+        for i in range(3000):
+            roll = rng.random()
+            if roll < 0.02:
+                lines.append(f"iso{i}")
+            elif roll < 0.04:
+                lines.append("# comment")
+            else:
+                lines.append(
+                    f"n{rng.randrange(400)} m{rng.randrange(400)} "
+                    f"{rng.random()!r}"
+                )
+        self.assert_identical("\n".join(lines) + "\n")
+
+    @pytest.mark.parametrize("text", [
+        "a b 0.5\nc d\n",                      # structure error
+        "a b 0.5\nc d xx\ne f 0.2\n",          # non-numeric probability
+        "a b 0.5\nc d 2.0\n",                  # out of range
+        "a b 0.0\n",                           # zero probability
+        "a b 0.5\nc c 0.2\n",                  # self-loop
+        "a b zz\nc c 0.2\n",                   # parse error beats self-loop
+        "a b 3.0\nc c 0.2\n",                  # range error beats self-loop
+        "a a 0.5\n",                           # self-loop on first line
+        "a b 1_0\n",                           # float() accepts, range fails
+        "a b nan\n",                           # converts, domain rejects
+        "a b 0.5\nc d 0.3 extra\n",            # four tokens
+        "a b xx\nc d yy\n",                    # first bad token wins
+    ])
+    def test_error_parity(self, text):
+        self.assert_same_error(text)
+
+    def test_error_parity_beyond_first_chunk(self):
+        from repro.datasets.io import _FAST_PARSE_CHUNK
+
+        prefix = "a b 0.5\n" * (_FAST_PARSE_CHUNK + 7)
+        self.assert_same_error(prefix + "bad line with four tokens\n")
+        self.assert_same_error(prefix + "c d not-a-number\n")
+
+    def test_auto_dispatch_threshold(self):
+        from repro.datasets.io import _FAST_PARSE_THRESHOLD
+
+        big = "\n".join(
+            f"u{i} w{i} 0.5" for i in range(_FAST_PARSE_THRESHOLD + 1)
+        )
+        auto = parse_edge_list(big)
+        assert list(auto.edges()) == \
+            list(parse_edge_list(big, engine="scalar").edges())
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            parse_edge_list("a b 0.5\n", engine="turbo")

@@ -265,6 +265,98 @@ class TestArtifactCache:
             ArtifactCache(capacity=0)
 
 
+class TestSpillTier:
+    """Disk-spill tier: evictions persist, reloads verify, budget bounds."""
+
+    def test_evicted_bytes_spill_and_reload(self, tmp_path):
+        cache = ArtifactCache(capacity=1, spill_dir=str(tmp_path))
+        cache.put("a", b"artifact-a")
+        cache.put("b", b"artifact-b")      # evicts a -> disk
+        assert cache.stats()["spill"]["spills"] == 1
+        assert any(p.suffix == ".art" for p in tmp_path.iterdir())
+        assert "a" in cache                 # visible via the spill tier
+        assert cache.get("a") == b"artifact-a"   # verified reload
+        stats = cache.stats()
+        assert stats["spill"]["hits"] == 1
+        assert stats["hits"] == 0           # disk hit, not a memory hit
+        assert cache.get("a") == b"artifact-a"   # now promoted to memory
+        assert cache.stats()["hits"] == 1
+
+    def test_get_or_compute_served_from_spill(self, tmp_path):
+        cache = ArtifactCache(capacity=1, spill_dir=str(tmp_path))
+        cache.put("a", b"va")
+        cache.put("b", b"vb")
+        value, cached = cache.get_or_compute("a", lambda: b"recomputed")
+        assert (value, cached) == (b"va", True)
+
+    def test_corrupted_spill_never_served(self, tmp_path):
+        cache = ArtifactCache(capacity=1, spill_dir=str(tmp_path))
+        cache.put("a", b"artifact-a")
+        cache.put("b", b"artifact-b")
+        for spilled in tmp_path.glob("*.art"):
+            spilled.write_bytes(b"tampered")
+        assert cache.get("a") is None       # digest mismatch -> dropped
+        stats = cache.stats()
+        assert stats["spill"]["corrupt"] == 1
+        assert stats["misses"] == 1
+        assert "a" not in cache             # forgotten, not retried
+
+    def test_lost_spill_file_counts_corrupt(self, tmp_path):
+        cache = ArtifactCache(capacity=1, spill_dir=str(tmp_path))
+        cache.put("a", b"artifact-a")
+        cache.put("b", b"artifact-b")
+        for spilled in tmp_path.glob("*.art"):
+            spilled.unlink()
+        assert cache.get("a") is None
+        assert cache.stats()["spill"]["corrupt"] == 1
+
+    def test_byte_budget_evicts_oldest_spill(self, tmp_path):
+        cache = ArtifactCache(capacity=1, spill_dir=str(tmp_path),
+                              spill_capacity_bytes=25)
+        cache.put("a", b"x" * 10)
+        cache.put("b", b"y" * 10)   # spills a (10 bytes on disk)
+        cache.put("c", b"z" * 10)   # spills b (20 bytes)
+        cache.put("d", b"w" * 10)   # spills c -> 30 bytes, drops a
+        stats = cache.stats()["spill"]
+        assert stats["evictions"] == 1
+        assert stats["bytes"] <= 25
+        assert cache.get("a") is None
+        assert cache.get("b") == b"y" * 10
+
+    def test_non_bytes_artifacts_do_not_spill(self, tmp_path):
+        cache = ArtifactCache(capacity=1, spill_dir=str(tmp_path))
+        cache.put("a", {"not": "bytes"})
+        cache.put("b", b"bytes")
+        assert list(tmp_path.glob("*.art")) == []
+        assert cache.get("a") is None
+
+    def test_fresh_put_supersedes_spilled_value(self, tmp_path):
+        cache = ArtifactCache(capacity=1, spill_dir=str(tmp_path))
+        cache.put("a", b"old")
+        cache.put("b", b"other")    # spills old a
+        cache.put("a", b"new")      # supersedes: spill entry dropped
+        assert cache.get("a") == b"new"
+        assert cache.stats()["spill"]["entries"] <= 1
+
+    def test_stats_shape(self, tmp_path):
+        assert "spill" not in ArtifactCache(capacity=2).stats()
+        cache = ArtifactCache(capacity=2, spill_dir=str(tmp_path),
+                              spill_capacity_bytes=123)
+        spill = cache.stats()["spill"]
+        assert spill == {"entries": 0, "bytes": 0, "capacity_bytes": 123,
+                         "spills": 0, "hits": 0, "evictions": 0,
+                         "corrupt": 0}
+
+    def test_clear_removes_spill_files(self, tmp_path):
+        cache = ArtifactCache(capacity=1, spill_dir=str(tmp_path))
+        cache.put("a", b"va")
+        cache.put("b", b"vb")
+        assert list(tmp_path.glob("*.art"))
+        cache.clear()
+        assert list(tmp_path.glob("*.art")) == []
+        assert cache.stats()["spill"]["spills"] == 0
+
+
 class TestThroughputMeter:
     def test_rates_over_window(self):
         clock = FakeClock()

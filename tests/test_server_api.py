@@ -390,3 +390,92 @@ class TestHTTPSurface:
         status, body = self._get(server, "/status")
         names = [s["name"] for s in json.loads(body)["schedules"]]
         assert "nightly" in names
+
+
+class TestBinaryDatasets:
+    """Binary datasets: O(header) digest keys, mmap registry, guards."""
+
+    @pytest.fixture(scope="class")
+    def binary(self, dataset, tmp_path_factory):
+        from repro.datasets import read_edge_list, write_binary
+
+        path = tmp_path_factory.mktemp("serve-bin") / "graph.bin"
+        write_binary(read_edge_list(dataset), path)
+        return str(path)
+
+    def test_sparsify_on_binary_matches_text_dataset(self, service, dataset,
+                                                     binary):
+        from_text, _ = service.handle(
+            "sparsify", {"dataset": dataset, **SPARSIFY})
+        from_binary, _ = service.handle(
+            "sparsify", {"dataset": binary, **SPARSIFY})
+        # Bit-identity is a *same-representation* contract (worker-count
+        # invariance), not a cross-representation one: the text dataset's
+        # dict graph works in first-touch indexer space while the binary
+        # file stores the numeric labels as dense ids, so pipeline sums
+        # run in different orders and GDB may legitimately keep a
+        # slightly different edge set.  What must agree: the structural
+        # invariants of the sparsifier — same edge budget, same vertex
+        # universe, probabilities in (0, 1].
+        def parse(body):
+            artifact = json.loads(body)["artifact"]
+            edges = {}
+            for line in artifact.splitlines():
+                parts = line.split()
+                if len(parts) == 3 and not line.startswith("#"):
+                    edges[frozenset((parts[0], parts[1]))] = float(parts[2])
+            return edges
+
+        text_edges, binary_edges = parse(from_text), parse(from_binary)
+        assert len(text_edges) == len(binary_edges) > 0
+        for edges in (text_edges, binary_edges):
+            assert all(0.0 < p <= 1.0 for p in edges.values())
+        # The overwhelming majority of selections still coincide.
+        shared = text_edges.keys() & binary_edges.keys()
+        assert len(shared) >= int(0.8 * len(text_edges))
+
+    def test_digest_key_is_header_digest(self, service, binary):
+        from repro.datasets import binary_digest
+
+        service.handle("sparsify", {"dataset": binary, **SPARSIFY})
+        digest = binary_digest(binary).encode()
+        assert any(digest in key for key in service.cache._entries)
+
+    def test_rewrite_on_disk_detected(self, service, binary, tmp_path):
+        import shutil
+
+        from repro.datasets import read_edge_list, write_binary
+
+        copy = str(tmp_path / "mutable.bin")
+        shutil.copy(binary, copy)
+        service.handle("sparsify", {"dataset": copy, **SPARSIFY})
+        # Rewrite the file with different content: the registry entry is
+        # keyed by digest, so the stale digest must not be served.
+        write_binary(twitter_like(n=30, avg_degree=6, seed=9), copy,
+                     allow_relabel=True)
+        body, hit = service.handle("sparsify", {"dataset": copy, **SPARSIFY})
+        assert not hit
+        assert body  # computed against the new content
+
+    def test_corrupt_binary_rejected(self, service, binary, tmp_path):
+        from repro.datasets.binary_io import HEADER_SIZE
+
+        bad = tmp_path / "corrupt.bin"
+        raw = bytearray(open(binary, "rb").read())
+        raw[HEADER_SIZE + 1] ^= 0xFF
+        bad.write_bytes(bytes(raw))
+        with pytest.raises(ServerError, match="digest"):
+            service.handle("sparsify", {"dataset": str(bad), **SPARSIFY})
+
+    def test_unsupported_variant_on_binary_rejected(self, service, binary):
+        with pytest.raises(ServerError, match="binary"):
+            service.handle("sparsify",
+                           {"dataset": binary, "alpha": 0.4,
+                            "variant": "NI", "seed": 0})
+
+    def test_estimate_on_binary(self, service, binary):
+        body, _ = service.handle("estimate", {
+            "dataset": binary, "query": "connectivity",
+            "samples": 16, "seed": 3,
+        })
+        assert json.loads(body)

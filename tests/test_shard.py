@@ -1,0 +1,202 @@
+"""Deterministic sharding: worker-count-invariant grid and MC execution.
+
+The Bobpp rule under test: work is partitioned by a deterministic key
+(grid position, world-block index) — never by arrival order or pool
+schedule — and stitched in canonical order, so results are bit-identical
+for ``workers ∈ {1, 2, 4}``, whether the workers rebuild the graph from
+pickled arrays or mmap a binary dataset file.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core import gdb_grid
+from repro.core.shard import (
+    DEFAULT_H_BLOCK,
+    GridShard,
+    grid_shards,
+    sharded_gdb_grid,
+)
+from repro.datasets import flickr_like, write_binary
+from repro.exceptions import EstimationError
+from repro.queries import DegreeQuery, ReliabilityQuery, sample_vertex_pairs
+from repro.sampling import MonteCarloEstimator
+
+ALPHAS = [0.4, 0.7]
+HS = [0.25, 0.5, 1.0]
+SEED = 3
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return flickr_like(n=40, avg_degree=8, seed=5)
+
+
+@pytest.fixture(scope="module")
+def dataset(graph, tmp_path_factory):
+    path = tmp_path_factory.mktemp("shard") / "graph.bin"
+    write_binary(graph, path)
+    return path
+
+
+def grid_objectives(results):
+    return [(alpha, h, cell.objective, cell.sweeps)
+            for (alpha, h), cell in sorted(results.items())]
+
+
+class TestGridShards:
+    def test_covers_every_cell_exactly_once(self):
+        shards = grid_shards(3, 7, h_block=2)
+        cells = [(s.alpha_index, h)
+                 for s in shards for h in range(s.h_start, s.h_stop)]
+        assert sorted(cells) == [(a, h) for a in range(3) for h in range(7)]
+        assert len(cells) == len(set(cells))
+
+    def test_canonical_order_and_stability(self):
+        # The layout is a pure function of the grid shape — repeated
+        # calls agree, and shards are ordered (alpha_index, h_start).
+        a = grid_shards(2, 9)
+        b = grid_shards(2, 9)
+        assert a == b
+        assert a == sorted(a, key=lambda s: (s.alpha_index, s.h_start))
+        assert all(isinstance(s, GridShard) for s in a)
+        assert all(s.h_stop - s.h_start <= DEFAULT_H_BLOCK for s in a)
+
+    def test_block_size_changes_layout_not_coverage(self):
+        for h_block in (1, 2, 5, 100):
+            shards = grid_shards(2, 5, h_block=h_block)
+            cells = [(s.alpha_index, h)
+                     for s in shards for h in range(s.h_start, s.h_stop)]
+            assert sorted(cells) == [(a, h)
+                                     for a in range(2) for h in range(5)]
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            grid_shards(0, 3)
+        with pytest.raises(ValueError):
+            grid_shards(3, 0)
+        with pytest.raises(ValueError):
+            grid_shards(2, 2, h_block=0)
+
+
+class TestShardedGrid:
+    @pytest.fixture(scope="class")
+    def serial(self, graph):
+        return gdb_grid(graph, ALPHAS, HS, build_graphs=False, rng=SEED)
+
+    def test_worker_counts_bit_identical(self, graph, serial):
+        reference = grid_objectives(serial)
+        for workers in (1, 2, 4):
+            sharded = sharded_gdb_grid(
+                graph, ALPHAS, HS, workers=workers, rng=SEED,
+            )
+            assert grid_objectives(sharded) == reference, (
+                f"workers={workers} diverged from the serial grid"
+            )
+
+    def test_binary_dataset_payload_bit_identical(self, graph, serial,
+                                                  dataset):
+        sharded = sharded_gdb_grid(
+            graph, ALPHAS, HS, workers=2, rng=SEED, dataset=dataset,
+        )
+        assert grid_objectives(sharded) == grid_objectives(serial)
+
+    def test_backbones_stitched_per_alpha(self, graph, serial):
+        sharded = sharded_gdb_grid(graph, ALPHAS, HS, workers=2, rng=SEED)
+        for (alpha, h), cell in sharded.items():
+            assert np.array_equal(cell.backbone, serial[(alpha, h)].backbone)
+
+    def test_gdb_grid_workers_delegates(self, graph, serial):
+        via_grid = gdb_grid(
+            graph, ALPHAS, HS, build_graphs=False, rng=SEED, workers=2,
+        )
+        assert grid_objectives(via_grid) == grid_objectives(serial)
+
+    def test_h_block_invariance(self, graph, serial):
+        for h_block in (1, 3):
+            sharded = sharded_gdb_grid(
+                graph, ALPHAS, HS, workers=2, rng=SEED, h_block=h_block,
+            )
+            assert grid_objectives(sharded) == grid_objectives(serial)
+
+    def test_seed_required(self, graph):
+        with pytest.raises(ValueError, match="seed"):
+            sharded_gdb_grid(graph, ALPHAS, HS, workers=2, rng=None)
+        with pytest.raises(ValueError, match="seed"):
+            sharded_gdb_grid(
+                graph, ALPHAS, HS, workers=2,
+                rng=np.random.default_rng(1),
+            )
+
+    def test_local_degree_backbone_needs_no_seed(self, graph):
+        serial = gdb_grid(
+            graph, ALPHAS, HS, build_graphs=False,
+            backbone_method="local_degree",
+        )
+        sharded = sharded_gdb_grid(
+            graph, ALPHAS, HS, workers=2, backbone_method="local_degree",
+        )
+        assert grid_objectives(sharded) == grid_objectives(serial)
+
+    def test_objective_only_contract(self, graph):
+        with pytest.raises(ValueError, match="objective-only"):
+            gdb_grid(graph, ALPHAS, HS, rng=SEED, workers=2,
+                     build_graphs=True)
+        with pytest.raises(ValueError):
+            gdb_grid(graph, ALPHAS, HS, build_graphs=False, rng=SEED,
+                     workers=2, consume=lambda cell: cell)
+
+    def test_dataset_requires_workers(self, graph, dataset):
+        with pytest.raises(ValueError, match="workers"):
+            gdb_grid(graph, ALPHAS, HS, build_graphs=False, rng=SEED,
+                     dataset=dataset)
+
+    def test_dataset_graph_mismatch_rejected(self, graph, tmp_path):
+        other = flickr_like(n=30, avg_degree=6, seed=9)
+        path = tmp_path / "other.bin"
+        write_binary(other, path)
+        with pytest.raises(ValueError, match="match"):
+            sharded_gdb_grid(graph, ALPHAS, HS, workers=2, rng=SEED,
+                             dataset=path)
+
+
+class TestShardedEstimates:
+    def test_mc_worker_counts_bit_identical(self, graph, dataset):
+        pairs = sample_vertex_pairs(graph, 6, rng=4)
+        for query in (DegreeQuery(graph.number_of_vertices()),
+                      ReliabilityQuery(pairs)):
+            reference = None
+            for workers in (1, 2, 4):
+                estimator = MonteCarloEstimator(
+                    graph, n_samples=18, batch_size=5, workers=workers,
+                    dataset=dataset if workers > 1 else None,
+                )
+                try:
+                    with warnings.catch_warnings():
+                        # A silent fall back to in-process execution
+                        # would make this test vacuous — fail instead.
+                        warnings.simplefilter("error")
+                        outcomes = estimator.run(query, rng=7).outcomes
+                finally:
+                    estimator.close()
+                if reference is None:
+                    reference = outcomes
+                else:
+                    assert np.array_equal(reference, outcomes,
+                                          equal_nan=True), (
+                        f"{type(query).__name__}: workers={workers} "
+                        f"diverged under dataset mmap"
+                    )
+
+    def test_mismatched_dataset_rejected(self, graph, tmp_path):
+        other = flickr_like(n=30, avg_degree=6, seed=9)
+        path = tmp_path / "other.bin"
+        write_binary(other, path)
+        with pytest.raises(EstimationError):
+            MonteCarloEstimator(
+                graph, n_samples=8, workers=2, dataset=path,
+            ).run(DegreeQuery(graph.number_of_vertices()), rng=1)
