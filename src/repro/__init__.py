@@ -28,7 +28,8 @@ Package layout
 - :mod:`repro.experiments` — one module per paper table / figure.
 """
 
-from repro import baselines, core, datasets, metrics, queries, sampling, utils
+from repro import backend, baselines, core, datasets, metrics, queries, sampling, utils
+from repro.backend import available_backends, resolve_backend
 from repro.core import (
     EMDConfig,
     GDBConfig,
@@ -69,7 +70,9 @@ __all__ = [
     "UncertainGraph",
     "WorldSampler",
     "__version__",
+    "available_backends",
     "available_variants",
+    "backend",
     "baselines",
     "core",
     "datasets",
@@ -81,6 +84,7 @@ __all__ = [
     "parse_variant",
     "queries",
     "relative_entropy",
+    "resolve_backend",
     "sampling",
     "sparsify",
     "utils",

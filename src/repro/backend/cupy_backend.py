@@ -1,0 +1,115 @@
+"""CuPy ``xp`` backend (CUDA), constructed only on demand.
+
+Registered only when ``cupy`` is importable; like the torch backend, the
+import cost is paid at resolution time, never at ``import repro.backend``.
+Scatter reductions use ``cupyx.scatter_min`` / ``scatter_max`` — order-
+independent reductions, preserving the determinism contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ArrayBackend
+
+
+class CupyBackend(ArrayBackend):
+    """``xp`` over CuPy device arrays."""
+
+    name = "cupy"
+    device = "cuda"
+    is_reference = False
+
+    def __init__(self) -> None:
+        import cupy  # deferred: only resolved backends pay the import
+        import cupyx
+
+        self._cp = cupy
+        self._cpx = cupyx
+        self.bool_ = cupy.bool_
+        self.int64 = cupy.int64
+        self.float64 = cupy.float64
+
+    # -- transfers -----------------------------------------------------------
+    def asarray(self, x, dtype=None):
+        return self._cp.asarray(x, dtype=dtype)
+
+    def to_host(self, x) -> np.ndarray:
+        if isinstance(x, self._cp.ndarray):
+            return self._cp.asnumpy(x)
+        return np.asarray(x)
+
+    # -- creation ------------------------------------------------------------
+    def zeros(self, shape, dtype=None):
+        return self._cp.zeros(shape, dtype=dtype)
+
+    def full(self, shape, value, dtype=None):
+        return self._cp.full(shape, value, dtype=dtype)
+
+    # -- elementwise ---------------------------------------------------------
+    def where(self, cond, x, y):
+        return self._cp.where(cond, x, y)
+
+    def minimum(self, a, b):
+        return self._cp.minimum(a, b)
+
+    def isfinite(self, a):
+        return self._cp.isfinite(a)
+
+    def clip(self, a, lo, hi):
+        return self._cp.clip(a, lo, hi)
+
+    def abs(self, a):
+        return self._cp.abs(a)
+
+    def astype(self, a, dtype):
+        return a.astype(dtype)
+
+    # -- shape / gather ------------------------------------------------------
+    def take(self, a, idx, axis):
+        return self._cp.take(a, self._cp.asarray(idx), axis=axis)
+
+    def expand_cols(self, a):
+        return a[:, None]
+
+    # -- reductions ----------------------------------------------------------
+    def any(self, a, axis=None):
+        return self._cp.any(a, axis=axis)
+
+    def all(self, a, axis=None):
+        return self._cp.all(a, axis=axis)
+
+    def sum(self, a, axis=None):
+        return self._cp.sum(a, axis=axis)
+
+    def min(self, a):
+        return self._cp.min(a)
+
+    # -- scatter primitives --------------------------------------------------
+    def scatter_min_cols(self, shape, col_idx, values):
+        cp = self._cp
+        out = cp.full(shape, cp.inf, dtype=self.float64)
+        rows = cp.broadcast_to(cp.arange(shape[0])[:, None], values.shape)
+        cols = cp.broadcast_to(cp.asarray(col_idx)[None, :], values.shape)
+        self._cpx.scatter_min(out, (rows, cols), values.astype(self.float64))
+        return out
+
+    def scatter_or_cols(self, shape, col_idx, values):
+        cp = self._cp
+        out = cp.zeros(shape, dtype=cp.uint8)
+        rows = cp.broadcast_to(cp.arange(shape[0])[:, None], values.shape)
+        cols = cp.broadcast_to(cp.asarray(col_idx)[None, :], values.shape)
+        self._cpx.scatter_max(out, (rows, cols), values.astype(cp.uint8))
+        return out.astype(self.bool_)
+
+    def put(self, a, idx, values):
+        a[self._cp.asarray(idx)] = self._cp.asarray(values, dtype=a.dtype)
+        return a
+
+    # -- device introspection -------------------------------------------------
+    def free_memory(self):
+        free, _total = self._cp.cuda.runtime.memGetInfo()
+        return int(free)
+
+    def synchronize(self) -> None:
+        self._cp.cuda.get_current_stream().synchronize()

@@ -1,0 +1,131 @@
+"""torch ``xp`` backend (CPU or CUDA), constructed only on demand.
+
+Importing :mod:`repro.backend` never imports torch; the registry probes
+``importlib.util.find_spec`` and only this module's constructor pays the
+import.  Scatter reductions map onto ``Tensor.scatter_reduce_`` (``amin``
+for the distance relaxation, ``amax`` over uint8 for the boolean OR) —
+both are order-independent reductions, so the determinism contract holds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ArrayBackend
+
+
+class TorchBackend(ArrayBackend):
+    """``xp`` over ``torch`` tensors; ``device`` is ``"cpu"`` or ``"cuda"``."""
+
+    name = "torch"
+    is_reference = False
+
+    def __init__(self, device: str = "cpu") -> None:
+        import torch  # deferred: only resolved backends pay the import
+
+        self._torch = torch
+        self.device = device
+        self._dev = torch.device(device)
+        self.bool_ = torch.bool
+        self.int64 = torch.int64
+        self.float64 = torch.float64
+
+    def _tensor(self, x, dtype=None):
+        t = self._torch
+        if isinstance(x, t.Tensor):
+            out = x.to(self._dev)
+            return out if dtype is None else out.to(dtype)
+        return t.as_tensor(np.asarray(x), dtype=dtype, device=self._dev)
+
+    # -- transfers -----------------------------------------------------------
+    def asarray(self, x, dtype=None):
+        return self._tensor(x, dtype)
+
+    def to_host(self, x) -> np.ndarray:
+        if isinstance(x, self._torch.Tensor):
+            return x.detach().cpu().numpy()
+        return np.asarray(x)
+
+    # -- creation ------------------------------------------------------------
+    def zeros(self, shape, dtype=None):
+        return self._torch.zeros(shape, dtype=dtype, device=self._dev)
+
+    def full(self, shape, value, dtype=None):
+        return self._torch.full(shape, value, dtype=dtype, device=self._dev)
+
+    # -- elementwise ---------------------------------------------------------
+    def where(self, cond, x, y):
+        t = self._torch
+        # Normalise python scalars against the array operand's dtype —
+        # torch.where's scalar overloads don't cover every combination.
+        if not isinstance(x, t.Tensor):
+            ref = y if isinstance(y, t.Tensor) else cond
+            x = t.as_tensor(x, dtype=ref.dtype if isinstance(y, t.Tensor) else None, device=self._dev)
+        if not isinstance(y, t.Tensor):
+            y = t.as_tensor(y, dtype=x.dtype, device=self._dev)
+        return t.where(cond, x, y)
+
+    def minimum(self, a, b):
+        return self._torch.minimum(a, b)
+
+    def isfinite(self, a):
+        return self._torch.isfinite(a)
+
+    def clip(self, a, lo, hi):
+        return self._torch.clamp(a, lo, hi)
+
+    def abs(self, a):
+        return self._torch.abs(a)
+
+    def astype(self, a, dtype):
+        return a.to(dtype)
+
+    # -- shape / gather ------------------------------------------------------
+    def take(self, a, idx, axis):
+        return self._torch.index_select(a, axis, self._tensor(idx, self.int64))
+
+    def expand_cols(self, a):
+        return a.unsqueeze(1)
+
+    # -- reductions ----------------------------------------------------------
+    def any(self, a, axis=None):
+        return self._torch.any(a) if axis is None else self._torch.any(a, dim=axis)
+
+    def all(self, a, axis=None):
+        return self._torch.all(a) if axis is None else self._torch.all(a, dim=axis)
+
+    def sum(self, a, axis=None):
+        return self._torch.sum(a) if axis is None else self._torch.sum(a, dim=axis)
+
+    def min(self, a):
+        return self._torch.min(a)
+
+    # -- scatter primitives --------------------------------------------------
+    def scatter_min_cols(self, shape, col_idx, values):
+        t = self._torch
+        out = t.full(shape, float("inf"), dtype=self.float64, device=self._dev)
+        idx = self._tensor(col_idx, self.int64).unsqueeze(0).expand(shape[0], -1)
+        out.scatter_reduce_(1, idx, values.to(self.float64), reduce="amin")
+        return out
+
+    def scatter_or_cols(self, shape, col_idx, values):
+        t = self._torch
+        out = t.zeros(shape, dtype=t.uint8, device=self._dev)
+        idx = self._tensor(col_idx, self.int64).unsqueeze(0).expand(shape[0], -1)
+        out.scatter_reduce_(1, idx, values.to(t.uint8), reduce="amax")
+        return out.to(self.bool_)
+
+    def put(self, a, idx, values):
+        a.index_put_((self._tensor(idx, self.int64),), self._tensor(values, a.dtype))
+        return a
+
+    # -- device introspection -------------------------------------------------
+    def free_memory(self):
+        if self.device.startswith("cuda") and self._torch.cuda.is_available():
+            free, _total = self._torch.cuda.mem_get_info()
+            return int(free)
+        return None
+
+    def synchronize(self) -> None:
+        if self.device.startswith("cuda") and self._torch.cuda.is_available():
+            self._torch.cuda.synchronize()

@@ -65,6 +65,15 @@ def _build_parser() -> argparse.ArgumentParser:
             "Binary inputs are memory-mapped (out-of-core).",
         )
 
+    def add_backend_flag(cmd, what: str) -> None:
+        cmd.add_argument(
+            "--backend", default="numpy",
+            help=f"array backend for the {what}: 'numpy' (default, the "
+            "bit-identical reference) or any name from "
+            "repro.backend.available_backends() — e.g. 'torch', 'cupy' "
+            "when installed",
+        )
+
     sparsify_cmd = sub.add_parser("sparsify", help="sparsify an edge-list file")
     sparsify_cmd.add_argument("input", help="input edge list (u v p per line)")
     add_format_flag(sparsify_cmd)
@@ -110,6 +119,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "bit-identity reference) or lazy deferred maintenance "
         "(converged-objective equivalent, faster)",
     )
+    add_backend_flag(sparsify_cmd, "GDB sweep kernels (GDB variants only)")
 
     info_cmd = sub.add_parser("info", help="print graph statistics")
     info_cmd.add_argument("input", help="edge list path")
@@ -180,6 +190,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="processes for batch-chunk evaluation (default 1 = in-process; "
         "0 means one per CPU; results are identical for any value)",
     )
+    add_backend_flag(estimate_cmd, "batched traversal kernels")
 
     convert_cmd = sub.add_parser(
         "convert", help="convert a dataset between text and binary formats"
@@ -240,6 +251,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the objective rows as JSON to this path instead of "
         "pretty-printing to stdout",
     )
+    add_backend_flag(grid_cmd, "GDB sweep kernels (serial grids only)")
 
     diagnose_cmd = sub.add_parser(
         "diagnose", help="sparsification diagnostics for a (G, G') pair"
@@ -271,6 +283,17 @@ def _parse_alphas(raw: str) -> list[float]:
     return _parse_floats(raw, "--alpha")
 
 
+def _resolve_backend_arg(name: str):
+    """Resolve a ``--backend`` value, turning registry errors (unknown
+    name, backend not installed on this machine) into CLI errors."""
+    from repro.backend import resolve_backend
+
+    try:
+        return resolve_backend(name)
+    except ValueError as error:
+        raise ReproError(str(error)) from None
+
+
 def _load_graph(path: str, input_format: str = "auto"):
     """Load a dataset as ``(graph, dataset_path_or_None)``.
 
@@ -291,6 +314,15 @@ def _load_graph(path: str, input_format: str = "auto"):
 
 
 def _cmd_sparsify(args: argparse.Namespace) -> int:
+    backend = _resolve_backend_arg(args.backend)
+    if not backend.is_reference:
+        from repro.core import parse_variant
+
+        if parse_variant(args.variant).method != "gdb":
+            raise ReproError(
+                f"--backend {args.backend!r} only applies to GDB variants, "
+                f"not {args.variant!r}"
+            )
     graph, dataset_path = _load_graph(args.input, args.input_format)
     if dataset_path is not None:
         from repro.core import parse_variant
@@ -322,6 +354,7 @@ def _cmd_sparsify(args: argparse.Namespace) -> int:
             graph, alpha, variant=args.variant, rng=args.seed,
             h=args.entropy_h, engine=args.engine, backbone_plan=plan,
             lp_solver=args.lp_solver, emd_mode=args.emd_mode,
+            backend=backend,
         )
         output = args.output.replace("{alpha}", f"{alpha:g}")
         write_edge_list(sparsified, output)
@@ -426,6 +459,7 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         batched=not args.no_batch,
         workers=workers,
         dataset=dataset_path if workers > 1 else None,
+        backend=_resolve_backend_arg(args.backend),
     )
     try:
         result = estimator.run(query, rng=args.seed)
@@ -494,6 +528,12 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     alphas = _parse_floats(args.alphas, "--alphas")
     h_values = _parse_floats(args.h_values, "--h-values")
     workers = resolve_workers(args.workers if args.workers != 0 else None)
+    backend = _resolve_backend_arg(args.backend)
+    if workers > 1 and not backend.is_reference:
+        raise ReproError(
+            f"--backend {args.backend!r} requires --workers 1: device "
+            "grids cannot be sharded over host processes"
+        )
     results = gdb_grid(
         graph, alphas, h_values,
         relative=args.relative,
@@ -503,6 +543,7 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         build_graphs=False,
         workers=workers,
         dataset=dataset_path if workers > 1 else None,
+        backend=backend,
     )
     rows = objective_rows(results)
     if args.output is not None:

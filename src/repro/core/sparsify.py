@@ -117,6 +117,7 @@ def sparsify(
     backbone: "np.ndarray | list[int] | None" = None,
     lp_solver: str = "highs",
     emd_mode: str = "eager",
+    backend=None,
 ) -> UncertainGraph:
     """Sparsify an uncertain graph with any paper variant.
 
@@ -163,14 +164,29 @@ def sparsify(
         (default, the bit-identity reference) or ``"lazy"`` (deferred
         batched heap maintenance; converged-objective equivalent).
         Other variants ignore it.
+    backend:
+        Array backend for the GDB sweep kernels (``None`` = the
+        bit-identical NumPy reference; see
+        :func:`repro.backend.available_backends`).  Only the GDB
+        variants have the color-blocked array seam; passing a
+        non-reference backend with any other variant raises.
 
     Returns
     -------
     UncertainGraph
         The sparsified graph ``G' = (V, E', p')``.
     """
+    from repro.backend import resolve_backend
+
     _validate_engine(engine)
     spec = parse_variant(variant)
+    xp = resolve_backend(backend)
+    if not xp.is_reference and spec.method != "gdb":
+        raise ValueError(
+            f"variant {variant!r} does not support backend={xp.name!r}: "
+            "only the GDB variants run their sweeps through the array "
+            "backend seam"
+        )
     backbone_method = "bgi" if spec.bgi_backbone else "random"
     label = name or f"{spec.canonical_name}@{alpha:g}({graph.name})"
     if backbone is not None and backbone_plan is not None:
@@ -196,7 +212,7 @@ def sparsify(
         config = GDBConfig(h=h, tau=tau, k=spec.k, relative=spec.relative)
         return gdb(graph, config=config,
                    backbone_method=backbone_method, rng=rng, name=label,
-                   engine=engine, **seed_kwargs)
+                   engine=engine, backend=xp, **seed_kwargs)
     if spec.method == "emd":
         if spec.k != 1:
             raise ValueError("EMD is defined for k = 1 only (paper section 5)")

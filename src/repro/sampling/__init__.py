@@ -18,7 +18,13 @@
 """
 
 from repro.sampling.adaptive import AdaptiveResult, adaptive_estimate, samples_to_width
-from repro.sampling.batch import BatchTopology, WorldBatch, auto_batch_size
+from repro.sampling.batch import (
+    BatchTopology,
+    WorldBatch,
+    auto_batch_size,
+    auto_chunk_size,
+    kernel_world_bytes,
+)
 from repro.sampling.kernels import (
     BFS_KERNELS,
     DEFAULT_BFS_KERNEL,
@@ -55,6 +61,8 @@ __all__ = [
     "EstimationResult",
     "adaptive_estimate",
     "auto_batch_size",
+    "auto_chunk_size",
+    "kernel_world_bytes",
     "samples_to_width",
     "MonteCarloEstimator",
     "ParallelBatchExecutor",

@@ -29,32 +29,110 @@ tests in ``tests/test_batch.py``.
 
 from __future__ import annotations
 
+import os
 from collections.abc import Iterator
 
 import numpy as np
 
+from repro.backend import resolve_backend
 from repro.sampling import kernels
 from repro.sampling.worlds import World
 
 #: Default memory budget (bytes) for one batch chunk's working arrays.
 DEFAULT_BATCH_BYTES = 64 * 1024 * 1024
 
+#: Environment override for the default chunk working-set budget (bytes).
+#: Only consulted when no explicit ``budget_bytes`` is passed.
+BATCH_BYTES_ENV = "REPRO_BATCH_BYTES"
+
+
+def kernel_world_bytes(n_edges: int, n_vertices: int, kernel: str | None = None) -> int:
+    """Per-world working-set estimate (bytes) of a host BFS kernel.
+
+    The historical model assumed the dense *boolean* kernel's scratch —
+    one ``(B, 2m)`` float64-equivalent activation row — which
+    overestimates the default packed-uint64 kernel ~8x: packed frontiers
+    carry 1 *bit* per (world, directed edge) plus the uint64 word
+    matrices, so its edge term is ``4m`` bytes/world (packed liveness +
+    packed mask layout) against the boolean kernel's ``32m``.  Both
+    models share the ``(B, n)`` vertex-state term (distance matrix,
+    reached/frontier rows, bincount scratch).
+    """
+    name = kernels.DEFAULT_BFS_KERNEL if kernel is None else kernel
+    kernels.resolve_bfs_kernel(name)  # fail fast on typos
+    vertex_term = 32 * max(n_vertices, 1)
+    if name == "packed":
+        return 2 * max(2 * n_edges, 1) + vertex_term
+    return 16 * max(2 * n_edges, 1) + vertex_term
+
+
+def auto_chunk_size(
+    n_samples: int,
+    n_edges: int,
+    n_vertices: int = 0,
+    budget_bytes: int | None = None,
+    kernel: str | None = None,
+    backend=None,
+) -> int:
+    """Chunk size keeping one chunk's working set near the byte budget.
+
+    Budget resolution, in priority order: an explicit ``budget_bytes``;
+    the ``REPRO_BATCH_BYTES`` environment variable; for a non-reference
+    backend, half the device's reported free memory
+    (:meth:`~repro.backend.base.ArrayBackend.free_memory`); else
+    :data:`DEFAULT_BATCH_BYTES`.
+
+    The per-world footprint is kernel-aware on the host
+    (:func:`kernel_world_bytes` — the packed-uint64 default moves ~8x
+    fewer bytes than the dense boolean kernel) and backend-supplied for
+    device backends (:meth:`~repro.backend.base.ArrayBackend.world_bytes`
+    — the portable xp kernels run dense, dtype-correct float64/bool
+    matrices).
+
+    Chunk boundaries remain a pure function of the problem shape and the
+    resolved budget — sequential-mode estimates are chunk-invariant by
+    the row-major stream contract, so re-budgeting never changes results.
+    """
+    if budget_bytes is None:
+        env = os.environ.get(BATCH_BYTES_ENV)
+        if env:
+            budget_bytes = int(env)
+    per_world = None
+    if backend is not None:
+        xp = resolve_backend(backend)
+        if not xp.is_reference:
+            per_world = xp.world_bytes(n_edges, n_vertices)
+            if budget_bytes is None:
+                free = xp.free_memory()
+                if free:
+                    budget_bytes = free // 2
+    if budget_bytes is None:
+        budget_bytes = DEFAULT_BATCH_BYTES
+    if per_world is None:
+        per_world = kernel_world_bytes(n_edges, n_vertices, kernel)
+    return int(max(1, min(n_samples, budget_bytes // max(per_world, 1))))
+
 
 def auto_batch_size(
     n_samples: int,
     n_edges: int,
     n_vertices: int = 0,
-    budget_bytes: int = DEFAULT_BATCH_BYTES,
+    budget_bytes: int | None = None,
+    kernel: str | None = None,
 ) -> int:
-    """Chunk size keeping one chunk's working set near ``budget_bytes``.
+    """Compatibility alias for :func:`auto_chunk_size` (host kernels only).
 
-    A world's batched footprint is dominated by one ``(B, 2m)`` float64
-    scratch row (pagerank pushes, BFS edge activations) plus a few
-    ``(B, n)`` state matrices; the estimate below leaves comfortable
-    headroom for both.
+    Kept as the stable public name; sizes for the *default* BFS kernel
+    unless ``kernel=`` names another, so the packed kernel now gets
+    chunks ~8x larger than the historical boolean-scratch model allowed.
     """
-    per_world = 16 * max(2 * n_edges, 1) + 32 * max(n_vertices, 1)
-    return int(max(1, min(n_samples, budget_bytes // per_world)))
+    return auto_chunk_size(
+        n_samples,
+        n_edges,
+        n_vertices=n_vertices,
+        budget_bytes=budget_bytes,
+        kernel=kernel,
+    )
 
 
 class BatchTopology:
@@ -202,6 +280,14 @@ class WorldBatch:
         :data:`repro.sampling.kernels.DEFAULT_BFS_KERNEL`.  All kernels
         return bit-identical distances — the knob trades memory traffic,
         never answers.
+    backend:
+        Array backend for the traversal methods — ``None`` / ``"numpy"``
+        (the reference, running the specialised host kernels above,
+        bit-identical to always), or any name from
+        :func:`repro.backend.available_backends` to run the portable
+        ``xp`` kernel formulations on that namespace.  Non-traversal
+        batch ops (degrees, components, pagerank, triangles) stay host
+        NumPy regardless.
 
     Examples
     --------
@@ -215,8 +301,8 @@ class WorldBatch:
 
     __slots__ = (
         "n", "m", "n_worlds", "masks", "topology", "edge_weights",
-        "bfs_kernel", "_alive_directed", "_labels", "_packed_masks",
-        "_packed_alive", "_alive_ordered",
+        "bfs_kernel", "backend", "_alive_directed", "_labels",
+        "_packed_masks", "_packed_alive", "_alive_ordered", "_xp_plan",
     )
 
     def __init__(
@@ -227,6 +313,7 @@ class WorldBatch:
         topology: BatchTopology | None = None,
         edge_weights: np.ndarray | None = None,
         bfs_kernel: str | None = None,
+        backend=None,
     ) -> None:
         masks = np.asarray(masks, dtype=bool)
         if masks.ndim != 2:
@@ -253,11 +340,13 @@ class WorldBatch:
         )
         self.edge_weights = edge_weights
         self.bfs_kernel = bfs_kernel
+        self.backend = resolve_backend(backend)
         self._alive_directed: np.ndarray | None = None
         self._labels: np.ndarray | None = None
-        self._packed_masks: np.ndarray | None = None
-        self._packed_alive: np.ndarray | None = None
-        self._alive_ordered: np.ndarray | None = None
+        self._packed_masks = None
+        self._packed_alive = None
+        self._alive_ordered = None
+        self._xp_plan = None
 
     # -- per-world views ----------------------------------------------------
     def world(self, index: int) -> World:
@@ -311,7 +400,16 @@ class WorldBatch:
         ``-1``, so only consume the target columns (the point-to-point
         query optimisation; BFS levels are deterministic, so the target
         distances are unaffected by the early exit).
+
+        On a non-reference ``backend`` the portable xp formulation runs
+        instead (``kernel`` does not apply there — the device kernel is
+        its own frontier representation); BFS levels are representation-
+        independent, so distances stay exactly equal.
         """
+        if not self.backend.is_reference:
+            return kernels.bfs_distances_xp(
+                self, source, targets, backend=self.backend
+            )
         run = kernels.resolve_bfs_kernel(
             kernel if kernel is not None else self.bfs_kernel
         )
@@ -340,6 +438,11 @@ class WorldBatch:
             raise ValueError(
                 "no edge weights: pass weights= or build the batch through "
                 "a WorldSampler (which attaches the -log p transform)"
+            )
+        if not self.backend.is_reference:
+            return kernels.delta_stepping_distances_xp(
+                self, source, weights, delta=delta, targets=targets,
+                backend=self.backend,
             )
         return kernels.delta_stepping_distances(
             self, source, weights, delta=delta, targets=targets

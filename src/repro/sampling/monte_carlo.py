@@ -134,6 +134,13 @@ class MonteCarloEstimator:
         ``graph``: with ``workers > 1`` the pool workers ``mmap`` the
         edge arrays from it instead of receiving them pickled.  Results
         are unchanged — the sharded answer stays bit-identical.
+    backend:
+        Array backend for the batched traversal kernels (``None`` =
+        the bit-identical NumPy reference; see
+        :func:`repro.backend.available_backends`).  Requires the
+        batched path — the legacy per-world loop has no array seam to
+        dispatch through, so ``batched=False`` with a non-reference
+        backend raises.
 
     Examples
     --------
@@ -154,13 +161,22 @@ class MonteCarloEstimator:
         batched: bool = True,
         workers: int | None = 1,
         dataset=None,
+        backend=None,
     ) -> None:
+        from repro.backend import resolve_backend
+
         if n_samples < 1:
             raise EstimationError(f"n_samples must be positive, got {n_samples}")
         if batch_size is not None and batch_size < 1:
             raise EstimationError(f"batch_size must be positive, got {batch_size}")
         if workers is not None and workers < 0:
             raise EstimationError(f"workers must be non-negative, got {workers}")
+        self.backend = resolve_backend(backend)
+        if not batched and not self.backend.is_reference:
+            raise EstimationError(
+                f"backend={self.backend.name!r} needs the batched path; the "
+                "legacy per-world loop (batched=False) has no array seam"
+            )
         self.graph = graph
         self.n_samples = n_samples
         self.batch_size = batch_size
@@ -190,6 +206,7 @@ class MonteCarloEstimator:
             chunk_size=self.batch_size,
             rng_mode="sequential",
             dataset=self.dataset,
+            backend=self.backend,
         )
         self._executor_query = query
         return self._executor
@@ -240,6 +257,7 @@ def repeated_estimates(
     batched: bool = True,
     workers: int | None = 1,
     dataset=None,
+    backend=None,
 ) -> np.ndarray:
     """Variance protocol: ``runs`` independent scalar estimates Phi_i(G).
 
@@ -251,7 +269,7 @@ def repeated_estimates(
     generators = spawn_rngs(rng, runs)
     estimator = MonteCarloEstimator(
         graph, n_samples=n_samples, batch_size=batch_size, batched=batched,
-        workers=workers, dataset=dataset,
+        workers=workers, dataset=dataset, backend=backend,
     )
     try:
         return np.array([

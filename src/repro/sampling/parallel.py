@@ -4,7 +4,7 @@ The batched engine (:mod:`repro.sampling.batch`) already splits an
 estimation run into memory-bounded chunks, and chunks are embarrassingly
 parallel: each one is a ``(B, m)`` mask matrix evaluated independently
 through the ensemble kernels.  :class:`ParallelBatchExecutor` exploits
-that — it keeps the exact chunk boundaries :func:`auto_batch_size`
+that — it keeps the exact chunk boundaries :func:`auto_chunk_size`
 produces, ships chunks to a :class:`concurrent.futures.ProcessPoolExecutor`,
 and stitches the outcome matrices back in submission order, so the
 parallel schedule can never change the answer (the deterministic-
@@ -46,9 +46,10 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.backend import resolve_backend
 from repro.core.uncertain_graph import UncertainGraph
 from repro.exceptions import EstimationError
-from repro.sampling.batch import auto_batch_size
+from repro.sampling.batch import auto_chunk_size
 from repro.sampling.worlds import WorldSampler
 from repro.utils.rng import ensure_rng
 
@@ -110,8 +111,14 @@ def _init_worker(
     edge_vertices: np.ndarray,
     probabilities: np.ndarray,
     query: "Query",
+    backend: "str | None" = None,
 ) -> None:
-    """Pool initializer: cache arrays + topology once per worker process."""
+    """Pool initializer: cache arrays + topology once per worker process.
+
+    ``backend`` travels as its registry *spec string* — backend objects
+    hold library handles that may not pickle — and each worker resolves
+    its own instance once here.
+    """
     from repro.sampling.batch import BatchTopology
     from repro.sampling.kernels import most_probable_path_weights
 
@@ -125,13 +132,16 @@ def _init_worker(
     _WORKER_STATE["probabilities"] = probabilities
     _WORKER_STATE["query"] = query
     _WORKER_STATE["topology"] = BatchTopology(int(n), edge_vertices)
+    _WORKER_STATE["backend"] = resolve_backend(backend)
     # The -log p transform rides the initializer (derived from the
     # probabilities already shipped), so weighted queries never pay
     # per-chunk weight IPC.
     _WORKER_STATE["edge_weights"] = most_probable_path_weights(probabilities)
 
 
-def _init_worker_from_dataset(path: str, query: "Query") -> None:
+def _init_worker_from_dataset(
+    path: str, query: "Query", backend: "str | None" = None
+) -> None:
     """Pool initializer for binary datasets: mmap instead of pickling.
 
     Each worker maps the ``src``/``dst``/``prob`` sections read-only
@@ -149,6 +159,7 @@ def _init_worker_from_dataset(path: str, query: "Query") -> None:
         graph.edge_index_array(),
         graph.probability_array(),
         query,
+        backend=backend,
     )
 
 
@@ -160,7 +171,7 @@ def _pool_evaluate_masks(masks: np.ndarray) -> np.ndarray:
     state = _WORKER_STATE
     batch = WorldBatch(
         state["n"], state["edge_vertices"], masks, topology=state["topology"],
-        edge_weights=state["edge_weights"],
+        edge_weights=state["edge_weights"], backend=state.get("backend"),
     )
     return evaluate_query_batch(state["query"], batch)
 
@@ -199,7 +210,15 @@ class ParallelBatchExecutor:
     chunk_size:
         Worlds per chunk; ``None`` auto-sizes from the memory budget
         exactly like the serial batched path
-        (:func:`repro.sampling.batch.auto_batch_size`).
+        (:func:`repro.sampling.batch.auto_chunk_size`, which is
+        backend- and kernel-footprint-aware).
+    backend:
+        Array backend for chunk evaluation (``None`` = the bit-identical
+        NumPy reference).  The registry spec string rides the pool
+        initializer, so every worker resolves its own instance; in
+        sequential RNG mode results remain a pure function of the seed
+        for any worker count *per backend* (bit-identical on the
+        reference, tolerance-gated across backends).
     rng_mode:
         ``"sequential"`` (default) or ``"spawn"`` — see the module
         docstring for the determinism contract of each.
@@ -237,6 +256,7 @@ class ParallelBatchExecutor:
         chunk_size: "int | None" = None,
         rng_mode: str = "sequential",
         dataset=None,
+        backend=None,
     ) -> None:
         if rng_mode not in RNG_MODES:
             raise EstimationError(
@@ -251,6 +271,7 @@ class ParallelBatchExecutor:
         self.workers = resolve_workers(workers)
         self.chunk_size = chunk_size
         self.rng_mode = rng_mode
+        self.backend = resolve_backend(backend)
         self.dataset_path = self._resolve_dataset(dataset)
         self._pool: "ProcessPoolExecutor | None" = None
         self._pool_failed = False
@@ -355,8 +376,9 @@ class ParallelBatchExecutor:
     def _chunk_for(self, n_samples: int) -> int:
         if self.chunk_size is not None:
             return min(self.chunk_size, max(n_samples, 1))
-        return auto_batch_size(
-            n_samples, self.sampler.m, n_vertices=self.sampler.n
+        return auto_chunk_size(
+            n_samples, self.sampler.m, n_vertices=self.sampler.n,
+            backend=self.backend,
         )
 
     def _sequential_tasks(
@@ -390,7 +412,7 @@ class ParallelBatchExecutor:
         from repro.queries.base import evaluate_query_batch
 
         return evaluate_query_batch(
-            self.query, self.sampler.batch_from_masks(masks)
+            self.query, self.sampler.batch_from_masks(masks, backend=self.backend)
         )
 
     def _sample_and_evaluate_local(
@@ -407,10 +429,13 @@ class ParallelBatchExecutor:
         if self._pool_failed or self.workers <= 1:
             return None
         sampler = self.sampler
+        # Ship the backend's registry spec, not the instance: workers
+        # re-resolve it so unpicklable library handles never cross IPC.
+        backend_spec = self.backend.spec
         if self.dataset_path is not None:
             initializer, initargs = (
                 _init_worker_from_dataset,
-                (self.dataset_path, self.query),
+                (self.dataset_path, self.query, backend_spec),
             )
         else:
             initializer, initargs = (
@@ -420,6 +445,7 @@ class ParallelBatchExecutor:
                     sampler.edge_vertices,
                     sampler.probabilities,
                     self.query,
+                    backend_spec,
                 ),
             )
         try:

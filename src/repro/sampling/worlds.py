@@ -252,12 +252,22 @@ class WorldSampler:
         return rng.random((count, self.m)) < self.probabilities
 
     def sample_batch(
-        self, count: int, rng: "int | np.random.Generator | None" = None
+        self,
+        count: int,
+        rng: "int | np.random.Generator | None" = None,
+        backend=None,
     ) -> "WorldBatch":
-        """Sample ``count`` worlds as one :class:`~repro.sampling.batch.WorldBatch`."""
-        return self.batch_from_masks(self.sample_mask_matrix(count, rng))
+        """Sample ``count`` worlds as one :class:`~repro.sampling.batch.WorldBatch`.
 
-    def batch_from_masks(self, masks: np.ndarray) -> "WorldBatch":
+        ``backend`` selects the traversal array backend of the batch
+        (``None`` = the bit-identical NumPy reference); sampling itself
+        always draws on the host so the seeded mask stream is invariant.
+        """
+        return self.batch_from_masks(
+            self.sample_mask_matrix(count, rng), backend=backend
+        )
+
+    def batch_from_masks(self, masks: np.ndarray, backend=None) -> "WorldBatch":
         """Wrap an explicit ``(N, m)`` mask matrix, sharing the parent CSR."""
         from repro.sampling.batch import BatchTopology, WorldBatch
 
@@ -270,7 +280,7 @@ class WorldSampler:
             self._topology = BatchTopology(self.n, self.edge_vertices)
         return WorldBatch(
             self.n, self.edge_vertices, masks, topology=self._topology,
-            edge_weights=self.edge_weights,
+            edge_weights=self.edge_weights, backend=backend,
         )
 
     def world_from_mask(self, mask: np.ndarray) -> World:

@@ -47,6 +47,24 @@ _ESTIMATE_QUERIES = (
 )
 
 
+def _normalise_backend(params: dict) -> str:
+    """Validate the optional ``backend`` request parameter.
+
+    Part of the cache key: non-reference backends are only
+    tolerance-equivalent to the numpy reference, so their artifacts must
+    never collide with (or overwrite) reference artifacts.
+    """
+    from repro.backend import available_backends
+
+    backend = str(params.pop("backend", "numpy"))
+    if backend not in available_backends():
+        raise ServerError(
+            f"unknown or unavailable backend {backend!r}; this server "
+            f"offers {sorted(available_backends())}"
+        )
+    return backend
+
+
 @dataclass
 class ServerConfig:
     """Tunables for the job server."""
@@ -189,8 +207,14 @@ class SparsifierService:
                 engine=str(params.pop("engine", "vector")),
                 lp_solver=str(params.pop("lp_solver", "highs")),
                 emd_mode=str(params.pop("emd_mode", "eager")),
+                backend=_normalise_backend(params),
             )
-            parse_variant(norm["variant"])  # fail fast on bad notation
+            spec = parse_variant(norm["variant"])  # fail fast on bad notation
+            if norm["backend"] != "numpy" and spec.method != "gdb":
+                raise ServerError(
+                    f"backend {norm['backend']!r} only applies to GDB "
+                    f"variants, not {norm['variant']!r}"
+                )
             if not 0.0 < norm["alpha"] < 1.0:
                 raise ServerError(f"alpha must be in (0, 1), got {norm['alpha']}")
         elif endpoint == "estimate":
@@ -199,6 +223,7 @@ class SparsifierService:
                 samples=int(params.pop("samples", 200)),
                 pairs=int(params.pop("pairs", 50)),
                 weighted=bool(params.pop("weighted", False)),
+                backend=_normalise_backend(params),
             )
             if norm["query"] not in _ESTIMATE_QUERIES:
                 raise ServerError(
@@ -228,6 +253,7 @@ class SparsifierService:
                 relative=bool(params.pop("relative", False)),
                 backbone_method=str(params.pop("backbone_method", "bgi")),
                 engine=str(params.pop("engine", "vector")),
+                backend=_normalise_backend(params),
             )
         if params:
             raise ServerError(
@@ -427,6 +453,7 @@ class SparsifierService:
             backbone_plan=plan,
             lp_solver=norm["lp_solver"],
             emd_mode=norm["emd_mode"],
+            backend=norm["backend"],
         )
         return canonical_body({
             "endpoint": "sparsify",
@@ -475,7 +502,7 @@ class SparsifierService:
         )
         with MonteCarloEstimator(
             graph, n_samples=norm["samples"], workers=self.config.mc_workers,
-            dataset=mc_dataset,
+            dataset=mc_dataset, backend=norm["backend"],
         ) as estimator:
             result = estimator.run(query, rng=norm["seed"])
         return canonical_body({
@@ -502,6 +529,7 @@ class SparsifierService:
             engine=norm["engine"],
             build_graphs=False,
             backbone_plan=self._plan_for(entry),
+            backend=norm["backend"],
         )
         return canonical_body({
             "endpoint": "grid",
