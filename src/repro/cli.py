@@ -33,6 +33,12 @@ bit-identical for any worker count)::
     repro-sparsify convert graph.txt graph.rpbg
     repro-sparsify grid graph.rpbg --alphas 0.2,0.4 --h-values 0.05,0.2 \
         --workers 4 --seed 7
+
+Replay a seeded drift stream through the incremental maintainer,
+comparing against a cold rebuild after every batch::
+
+    repro-sparsify drift graph.txt --alpha 0.3 --batches 10 \
+        --edge-fraction 0.05 --compare-rebuild
 """
 
 from __future__ import annotations
@@ -252,6 +258,59 @@ def _build_parser() -> argparse.ArgumentParser:
         "pretty-printing to stdout",
     )
     add_backend_flag(grid_cmd, "GDB sweep kernels (serial grids only)")
+
+    drift_cmd = sub.add_parser(
+        "drift",
+        help="replay a seeded drift stream through the incremental "
+        "sparsifier (maintain vs rebuild)",
+    )
+    drift_cmd.add_argument("input", help="input edge list (text format)")
+    drift_cmd.add_argument(
+        "--alpha", type=float, required=True,
+        help="sparsification ratio in (0, 1), fixed along the stream",
+    )
+    drift_cmd.add_argument(
+        "--variant", default="GDB^A-t",
+        help="GDB variant maintained along the stream (default GDB^A-t)",
+    )
+    drift_cmd.add_argument(
+        "--batches", type=int, default=8,
+        help="delta batches to replay (default 8)",
+    )
+    drift_cmd.add_argument(
+        "--edge-fraction", type=float, default=0.05,
+        help="fraction of live edges drifting per batch (default 0.05)",
+    )
+    drift_cmd.add_argument(
+        "--insert-rate", type=float, default=0.0,
+        help="fraction of live edges inserted per batch (default 0)",
+    )
+    drift_cmd.add_argument(
+        "--delete-rate", type=float, default=0.0,
+        help="fraction of live edges deleted per batch (default 0)",
+    )
+    drift_cmd.add_argument(
+        "--seed", type=int, default=0,
+        help="one seed drives both the drift stream and the backbone "
+        "(default 0; the replay is a pure function of it)",
+    )
+    drift_cmd.add_argument(
+        "--h", type=float, default=0.05, dest="entropy_h",
+        help="GDB entropy parameter (default 0.05)",
+    )
+    drift_cmd.add_argument(
+        "--engine", choices=["vector", "loop"], default="vector",
+        help="GDB sweep engine (default vector)",
+    )
+    drift_cmd.add_argument(
+        "--compare-rebuild", action="store_true",
+        help="also cold-rebuild after every batch and report the "
+        "speedup and objective gap of maintenance vs rebuild",
+    )
+    drift_cmd.add_argument(
+        "--output", default=None,
+        help="write the final maintained sparsifier to this edge-list path",
+    )
 
     diagnose_cmd = sub.add_parser(
         "diagnose", help="sparsification diagnostics for a (G, G') pair"
@@ -518,6 +577,72 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_drift(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.core import IncrementalSparsifier, sparsify as _sparsify
+    from repro.datasets import DriftWorkload
+
+    graph = read_edge_list(args.input)
+    workload = DriftWorkload(
+        graph,
+        edge_fraction=args.edge_fraction,
+        insert_rate=args.insert_rate,
+        delete_rate=args.delete_rate,
+        seed=args.seed,
+    )
+    maintainer = IncrementalSparsifier(
+        graph.copy(), args.alpha, variant=args.variant, rng=args.seed,
+        h=args.entropy_h, engine=args.engine,
+    )
+    print(
+        f"{args.input}: |V|={graph.number_of_vertices()} "
+        f"|E|={graph.number_of_edges()}, maintaining {args.variant}@"
+        f"{args.alpha:g} over {args.batches} batches "
+        f"({args.edge_fraction:.0%} drift/batch, seed {args.seed})"
+    )
+    header = f"{'batch':>5} {'changed':>7} {'kind':>10} {'sweeps':>6} " \
+             f"{'ms':>8} {'D1':>12}"
+    if args.compare_rebuild:
+        header += f" {'rebuild ms':>10} {'speedup':>8} {'D1 gap':>10}"
+    print(header)
+    for index in range(args.batches):
+        batch = workload.next_batch(maintainer.graph)
+        report = maintainer.apply(batch)
+        kind = "structural" if report.structural else "updates"
+        line = (
+            f"{index:>5d} {report.batch_size:>7d} {kind:>10} "
+            f"{report.sweeps:>6d} {report.elapsed * 1e3:>8.1f} "
+            f"{report.d1:>12.6g}"
+        )
+        if args.compare_rebuild:
+            start = time.perf_counter()
+            cold = _sparsify(
+                maintainer.graph, args.alpha, variant=args.variant,
+                rng=args.seed, h=args.entropy_h, engine=args.engine,
+            )
+            rebuild_s = time.perf_counter() - start
+            from repro.core import d1_objective
+
+            gap = abs(report.d1 - d1_objective(
+                maintainer.graph, cold,
+                relative=maintainer.config.relative,
+            ))
+            speedup = rebuild_s / max(report.elapsed, 1e-12)
+            line += (
+                f" {rebuild_s * 1e3:>10.1f} {speedup:>8.2f} {gap:>10.3g}"
+            )
+        print(line)
+    print(
+        f"total sweeps: {maintainer.sweeps}, final D1: "
+        f"{maintainer.d1():.6g}"
+    )
+    if args.output is not None:
+        write_edge_list(maintainer.sparsified(), args.output)
+        print(f"wrote maintained sparsifier to {args.output}")
+    return 0
+
+
 def _cmd_grid(args: argparse.Namespace) -> int:
     import json
 
@@ -584,6 +709,8 @@ def main(argv: "list[str] | None" = None) -> int:
             return _cmd_convert(args)
         if args.command == "grid":
             return _cmd_grid(args)
+        if args.command == "drift":
+            return _cmd_drift(args)
         if args.command == "serve":
             from repro.server.__main__ import run_from_args
 

@@ -22,6 +22,7 @@ from repro.core.backbone import (
     target_edge_count,
 )
 from repro.core.array_graph import EdgeArrayGraph
+from repro.core.delta import AppliedDelta, EdgeDeltaBatch, apply_delta
 from repro.core.diagnostics import SparsificationReport, analyze_sparsification
 from repro.core.discrepancy import (
     SparsificationState,
@@ -38,9 +39,10 @@ from repro.core.entropy import (
     graph_entropy,
     relative_entropy,
 )
-from repro.core.gdb import GDBConfig, gdb, gdb_refine
+from repro.core.gdb import GDBConfig, gdb, gdb_refine, gdb_refine_warm
 from repro.core.grid import GridCell, gdb_grid, objective_rows
 from repro.core.lp import lp_assign_probabilities, lp_sparsify
+from repro.core.maintain import IncrementalSparsifier, MaintenanceReport
 from repro.core.shard import GridShard, grid_shards, sharded_gdb_grid
 from repro.core.sweep import SweepPlan, build_sweep_plan, greedy_edge_coloring
 from repro.core.sparsify import (
@@ -53,11 +55,16 @@ from repro.core.sparsify import (
 from repro.core.uncertain_graph import UncertainGraph
 
 __all__ = [
+    "AppliedDelta",
     "BackbonePlan",
     "EMDConfig",
     "EdgeArrayGraph",
+    "EdgeDeltaBatch",
+    "IncrementalSparsifier",
+    "MaintenanceReport",
     "SparsificationReport",
     "analyze_sparsification",
+    "apply_delta",
     "GDBConfig",
     "GridCell",
     "GridShard",
@@ -83,6 +90,7 @@ __all__ = [
     "gdb",
     "gdb_grid",
     "gdb_refine",
+    "gdb_refine_warm",
     "graph_entropy",
     "greedy_edge_coloring",
     "grid_shards",

@@ -191,6 +191,59 @@ def _mc_top_up_array(
     return count
 
 
+def _hash_uniforms(seed: int, pair_keys: np.ndarray) -> np.ndarray:
+    """Counter-based per-edge uniforms in ``(0, 1]`` (splitmix64 finaliser).
+
+    A pure function of ``(seed, canonical endpoint pair)``: stable
+    across edge-id renumbering and unrelated edge churn, which is what
+    makes the ``"stable"`` top-up's selection drift-local.
+    """
+    mix = (int(seed) * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    x = pair_keys.astype(np.uint64) + np.uint64(mix)
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    x = x ^ (x >> np.uint64(31))
+    return ((x >> np.uint64(11)).astype(np.float64) + 1.0) * 2.0 ** -53
+
+
+def _stable_top_up(
+    parts: list[np.ndarray],
+    count: int,
+    remaining: np.ndarray,
+    edge_vertices: np.ndarray,
+    probabilities: np.ndarray,
+    target: int,
+    seed: int,
+    n: int,
+) -> int:
+    """Churn-stable weighted top-up (Efraimidis-Spirakis order statistics).
+
+    Every candidate edge gets the key ``log(u_e) / p_e`` with ``u_e`` a
+    seeded hash uniform of its canonical endpoints, and the ``target -
+    count`` largest keys win — a weighted sample without replacement
+    drawn by order statistics instead of sequential rejection.  Like the
+    MC pass it is deterministic under a fixed seed (the repair
+    contract), but an edge's key moves only when its *own* probability
+    does, so a small delta shifts the selection by O(|delta|) edges
+    where the permutation-based pass re-randomises it wholesale.  This
+    is what keeps the incremental maintainer's dirty region small along
+    a drift stream.
+    """
+    need = target - count
+    if need <= 0 or not len(remaining):
+        return count
+    ends = edge_vertices[remaining]
+    lo = np.minimum(ends[:, 0], ends[:, 1]).astype(np.uint64)
+    hi = np.maximum(ends[:, 0], ends[:, 1]).astype(np.uint64)
+    u = _hash_uniforms(seed, lo * np.uint64(n) + hi)
+    keys = np.log(u) / probabilities[remaining]
+    # Largest key wins; ties (hash collisions) break by ascending id.
+    order = np.lexsort((remaining, -keys))
+    take = np.sort(remaining[order[:need]])
+    parts.append(take)
+    return count + len(take)
+
+
 class BackbonePlan:
     """Reusable backbone factory: one Kruskal pass serves every alpha.
 
@@ -296,6 +349,189 @@ class BackbonePlan:
                 self._forests.append(forest)
                 self._peel_rank[forest] = len(self._forests)
 
+    # -- incremental maintenance ------------------------------------------
+    def clone(self) -> "BackbonePlan":
+        """Independent copy sharing the (immutable) computed peel arrays.
+
+        The clone has its own lock, forest list, rank labels, memo and
+        unpeeled cursor, so repairing or extending it never perturbs the
+        original — the server uses this to derive the plan of a drifted
+        dataset from the registered one without invalidating in-flight
+        readers of the old plan.
+        """
+        with self._lock:
+            twin = BackbonePlan.__new__(BackbonePlan)
+            twin.graph = self.graph
+            twin.n = self.n
+            twin.edge_vertices = self.edge_vertices
+            twin.probabilities = self.probabilities
+            twin.m = self.m
+            twin._lock = threading.RLock()
+            twin._forests = list(self._forests)
+            twin._peel_rank = self._peel_rank.copy()
+            twin._unpeeled = self._unpeeled
+            twin._local_degree_order = self._local_degree_order
+            twin._cache = dict(self._cache)
+            return twin
+
+    def repair(self, applied) -> "BackbonePlan":
+        """Incrementally rebind the plan to a delta-mutated graph.
+
+        ``applied`` is the :class:`repro.core.delta.AppliedDelta` returned
+        by :func:`repro.core.delta.apply_delta` for this plan's graph.
+        The repaired plan is **equivalent to a fresh**
+        ``BackbonePlan(applied.graph)`` — same forests, peel ranks,
+        unpeeled order and (seeded) backbones, bit-identical — but keeps
+        every forest whose rank lies strictly below the *dirty rank*
+        verbatim instead of re-peeling it:
+
+        - the dirty rank is the lowest peel rank that the delta can
+          affect: the smallest rank among updated/deleted member edges,
+          lowered further if a probability increase or an inserted edge
+          would be accepted into an earlier forest (decided exactly by
+          replaying each candidate against the prefix of that forest's
+          members with stronger ``(p, id)`` keys on a fresh
+          :class:`~repro.utils.unionfind.ArrayUnionFind`);
+        - forests below the dirty rank are kept (edge ids remapped
+          through ``applied.id_map`` after structural deltas), ranks
+          at or above it return to the unpeeled pool and are re-peeled
+          lazily on next use;
+        - the seeded-backbone memo is cleared (MC top-up draws depend on
+          the unpeeled pool), so repeated ``backbone(alpha, seed)``
+          requests recompute once and re-memoise.
+
+        Returns ``self`` (mutated in place, under the plan lock).
+        """
+        with self._lock:
+            self._repair_locked(applied)
+        return self
+
+    def _repair_locked(self, applied) -> None:
+        graph = applied.graph
+        new_probs = np.array(graph.probability_array(), dtype=np.float64)
+        new_ev = graph.edge_index_array()
+        new_m = len(new_probs)
+
+        nothing_computed = self._unpeeled is None and not self._forests
+        kept: list[np.ndarray] = []
+        if not nothing_computed:
+            dirty = self._dirty_rank(applied)
+            kept = self._forests[: dirty - 1]
+            if applied.structural:
+                id_map = applied.id_map
+                remapped = []
+                for f in kept:
+                    # Kept forests contain no deleted edge (a deleted
+                    # member caps the dirty rank at its own rank), so
+                    # the remap is total; id_map is monotone on
+                    # survivors, which preserves acceptance order.
+                    nf = id_map[f]
+                    nf.setflags(write=False)
+                    remapped.append(nf)
+                kept = remapped
+
+        self.graph = graph
+        self.edge_vertices = new_ev
+        self.probabilities = new_probs
+        self.m = new_m
+        self._forests = kept
+        self._peel_rank = np.zeros(new_m, dtype=np.int64)
+        for rank, f in enumerate(kept, start=1):
+            self._peel_rank[f] = rank
+        if nothing_computed:
+            self._unpeeled = None
+        else:
+            alive = np.ones(new_m, dtype=bool)
+            for f in kept:
+                alive[f] = False
+            cand = np.flatnonzero(alive)
+            # Sorted by (-p, id): identical to the fresh plan's unpeeled
+            # cursor after peeling the kept ranks (stable subsequence of
+            # the global probability sort).
+            self._unpeeled = cand[np.argsort(-new_probs[cand], kind="stable")]
+        self._cache = {}
+        if applied.structural:
+            self._local_degree_order = None
+
+    def _dirty_rank(self, applied) -> int:
+        """Lowest peel rank the delta can affect (``K+1`` = none).
+
+        Rank ``r`` members that were updated or deleted dirty rank ``r``
+        directly — even a probability change that keeps the forest *set*
+        intact moves the member inside the acceptance order, and the
+        repair contract is bit-identity of the stored arrays.  On top of
+        that, every strictly-increased edge and every insert is tested
+        for entry into each cleaner forest ``k``: it enters iff its
+        endpoints are not connected by the members of forest ``k`` with
+        stronger ``(p, id)`` key — a prefix of the acceptance-ordered
+        forest array, replayed through one progressive ``union_batch``
+        sweep per forest with the candidates visited in breakpoint
+        order.
+        """
+        batch = applied.batch
+        K = len(self._forests)
+        infinity = K + 1
+        dirty = infinity
+
+        changed = np.flatnonzero(batch.update_ps != applied.old_update_ps)
+        touched = np.concatenate(
+            [batch.update_eids[changed], batch.delete_eids]
+        )
+        if len(touched):
+            ranks = self._peel_rank[touched]
+            ranks = ranks[ranks > 0]
+            if len(ranks):
+                dirty = min(dirty, int(ranks.min()))
+        if dirty == 1:
+            return 1
+
+        # Entry candidates: probability increases (old rank 0 edges, and
+        # ranked members probing forests cleaner than their capped rank)
+        # plus inserted edges.  Decreases can never enter an earlier
+        # forest: they were already rejected there at a higher key.
+        id_map = applied.id_map
+        inc = np.flatnonzero(batch.update_ps > applied.old_update_ps)
+        entrant_ids = np.concatenate(
+            [id_map[batch.update_eids[inc]], applied.insert_eids]
+        )
+        entrant_ps = np.concatenate([batch.update_ps[inc], batch.insert_ps])
+        if not len(entrant_ids):
+            return dirty
+        new_ev = applied.graph.edge_index_array()
+        ends_u = new_ev[entrant_ids, 0]
+        ends_v = new_ev[entrant_ids, 1]
+        for k in range(1, min(dirty, infinity)):
+            forest = self._forests[k - 1]
+            if not len(forest):
+                continue
+            # Forest members keep their old probabilities (any updated
+            # member would have capped ``dirty`` at or below ``k``), and
+            # the array is acceptance-ordered: descending probability,
+            # ascending id within ties — in both id spaces, because
+            # id_map is monotone on survivors.
+            fp = self.probabilities[forest]
+            fid = id_map[forest]
+            bps = np.searchsorted(-fp, -entrant_ps, side="left")
+            rights = np.searchsorted(-fp, -entrant_ps, side="right")
+            for i in np.flatnonzero(rights > bps):
+                lo, hi = int(bps[i]), int(rights[i])
+                bps[i] = lo + int(
+                    np.searchsorted(fid[lo:hi], entrant_ids[i])
+                )
+            order = np.argsort(bps, kind="stable")
+            uf = ArrayUnionFind(self.n)
+            fu = self.edge_vertices[forest, 0]
+            fv = self.edge_vertices[forest, 1]
+            pos = 0
+            for i in order:
+                bp = int(bps[i])
+                if bp > pos:
+                    uf.union_batch(fu[pos:bp], fv[pos:bp])
+                    pos = bp
+                if not uf.connected(int(ends_u[i]), int(ends_v[i])):
+                    return k
+        return dirty
+
     def forest_prefix(
         self,
         alpha: float,
@@ -368,7 +604,10 @@ class BackbonePlan:
         if method == "bgi":
             # Normalise the spanning knobs so explicit defaults and
             # omitted kwargs share one cache key.
-            kwargs = {"spanning_fraction": 0.5, "max_forests": 6, **kwargs}
+            kwargs = {
+                "spanning_fraction": 0.5, "max_forests": 6, "top_up": "mc",
+                **kwargs,
+            }
         key = None
         if rng is None or isinstance(rng, (int, np.integer)):
             if method == "local_degree" or rng is not None:
@@ -388,16 +627,33 @@ class BackbonePlan:
 
     def _instantiate(self, alpha, method, rng, kwargs) -> np.ndarray:
         if method == "bgi":
-            prefix = self.forest_prefix(alpha, **kwargs)
+            opts = dict(kwargs)
+            top_up = opts.pop("top_up", "mc")
+            prefix = self.forest_prefix(alpha, **opts)
             target = target_edge_count(self.m, alpha)
             remaining = np.setdiff1d(
                 np.arange(self.m, dtype=np.int64), prefix, assume_unique=True
             )
             parts = [prefix]
-            _mc_top_up_array(
-                parts, len(prefix), remaining, self.probabilities,
-                target, ensure_rng(rng),
-            )
+            if top_up == "stable":
+                if not isinstance(rng, (int, np.integer)):
+                    raise SparsificationError(
+                        "the stable top-up needs an integer seed (its "
+                        "hash keys are a pure function of the seed)"
+                    )
+                _stable_top_up(
+                    parts, len(prefix), remaining, self.edge_vertices,
+                    self.probabilities, target, int(rng), self.n,
+                )
+            elif top_up == "mc":
+                _mc_top_up_array(
+                    parts, len(prefix), remaining, self.probabilities,
+                    target, ensure_rng(rng),
+                )
+            else:
+                raise SparsificationError(
+                    f"unknown top_up {top_up!r} (use 'mc' or 'stable')"
+                )
             return _as_edge_ids(np.concatenate(parts))
         if method == "random":
             if kwargs:

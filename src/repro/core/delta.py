@@ -1,0 +1,410 @@
+"""Edge delta batches for streaming / drifting uncertain graphs.
+
+ROADMAP item 3 opens the dynamic scenario: edge probabilities drift and
+edges appear/disappear while sparsifiers stay live.  This module defines
+the unit of change — :class:`EdgeDeltaBatch`, a canonicalised bundle of
+probability updates, insertions and deletions expressed against the
+*current* edge ids of a graph — and :func:`apply_delta`, which applies a
+batch to either graph representation and returns an
+:class:`AppliedDelta` carrying the old-id → new-id mapping every
+downstream incremental structure (``BackbonePlan.repair``,
+``SparsificationState.apply_delta``, sweep-plan extension) keys on.
+
+Id semantics
+------------
+Edge ids are positions in the graph's edge enumeration.  A delta batch
+names updates/deletes by *old* ids and insertions by canonical dense
+endpoint pairs.  After application:
+
+- pure probability updates keep every id (``id_map`` is the identity);
+- structural batches renumber: survivors keep their *relative* order
+  (both representations preserve it — dict adjacency deletions/inserts
+  never reorder existing entries, and the array path writes survivors
+  in row order), which is exactly the invariant the stable-sort
+  tie-breaking of ``BackbonePlan`` repair relies on.  ``id_map`` is
+  computed from the post-mutation enumeration itself, so it is correct
+  for either representation's ordering rules.
+
+Insertions are restricted to *existing* vertices (dense ids below
+``n``): probability drift rewires a fixed population; growing the
+vertex set remains a rebuild.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.uncertain_graph import UncertainGraph
+from repro.exceptions import GraphError, ProbabilityError
+
+
+def _as_int_ids(ids) -> np.ndarray:
+    arr = np.asarray(ids, dtype=np.int64).reshape(-1)
+    return arr
+
+
+def _as_probs(ps, what: str) -> np.ndarray:
+    arr = np.asarray(ps, dtype=np.float64).reshape(-1)
+    if len(arr):
+        bad = np.flatnonzero(~((arr > 0.0) & (arr <= 1.0)))
+        if len(bad):
+            raise ProbabilityError(
+                f"{what} probability must be in (0, 1], got {arr[bad[0]]!r}"
+            )
+    return arr
+
+
+@dataclass(frozen=True)
+class EdgeDeltaBatch:
+    """One canonicalised batch of edge changes.
+
+    Parameters name updates and deletes by edge id (positions in the
+    target graph's current edge enumeration) and insertions by dense
+    endpoint pairs.  The constructor canonicalises everything into
+    ascending edge-id / lexicographic pair order so two batches with the
+    same content compare (and replay) identically regardless of how they
+    were assembled.
+    """
+
+    update_eids: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    update_ps: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.float64))
+    delete_eids: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    insert_endpoints: np.ndarray = field(
+        default_factory=lambda: np.empty((0, 2), dtype=np.int64)
+    )
+    insert_ps: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.float64))
+
+    def __post_init__(self) -> None:
+        update_eids = _as_int_ids(self.update_eids)
+        update_ps = _as_probs(self.update_ps, "update")
+        if update_eids.shape != update_ps.shape:
+            raise GraphError(
+                f"update eids/probabilities length mismatch: "
+                f"{len(update_eids)} vs {len(update_ps)}"
+            )
+        order = np.argsort(update_eids, kind="stable")
+        update_eids = update_eids[order]
+        update_ps = update_ps[order]
+        if len(update_eids) and np.any(np.diff(update_eids) == 0):
+            raise GraphError("duplicate edge ids in delta updates")
+
+        delete_eids = np.sort(np.unique(_as_int_ids(self.delete_eids)))
+        if len(delete_eids) != len(_as_int_ids(self.delete_eids)):
+            raise GraphError("duplicate edge ids in delta deletes")
+        if len(update_eids) and len(delete_eids) and len(
+            np.intersect1d(update_eids, delete_eids)
+        ):
+            raise GraphError("an edge cannot be both updated and deleted")
+        if (len(update_eids) and update_eids[0] < 0) or (
+            len(delete_eids) and delete_eids[0] < 0
+        ):
+            raise GraphError("negative edge id in delta batch")
+
+        pairs = np.asarray(self.insert_endpoints, dtype=np.int64).reshape(-1, 2)
+        insert_ps = _as_probs(self.insert_ps, "insert")
+        if len(pairs) != len(insert_ps):
+            raise GraphError(
+                f"insert endpoints/probabilities length mismatch: "
+                f"{len(pairs)} vs {len(insert_ps)}"
+            )
+        if len(pairs):
+            if pairs.min() < 0:
+                raise GraphError("negative vertex id in delta inserts")
+            if np.any(pairs[:, 0] == pairs[:, 1]):
+                raise GraphError("self-loops are not allowed")
+            pairs = np.sort(pairs, axis=1)  # canonical (min, max) per row
+            order = np.lexsort((pairs[:, 1], pairs[:, 0]))
+            pairs = pairs[order]
+            insert_ps = insert_ps[order]
+            if len(np.unique(pairs, axis=0)) != len(pairs):
+                raise GraphError("duplicate endpoint pairs in delta inserts")
+
+        object.__setattr__(self, "update_eids", update_eids)
+        object.__setattr__(self, "update_ps", update_ps)
+        object.__setattr__(self, "delete_eids", delete_eids)
+        object.__setattr__(self, "insert_endpoints", pairs)
+        object.__setattr__(self, "insert_ps", insert_ps)
+        for arr in (update_eids, update_ps, delete_eids, pairs, insert_ps):
+            arr.setflags(write=False)
+
+    # -- views -----------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        return not (
+            len(self.update_eids) or len(self.delete_eids) or len(self.insert_ps)
+        )
+
+    @property
+    def is_structural(self) -> bool:
+        """Whether the batch changes the edge *set* (ids renumber)."""
+        return bool(len(self.delete_eids) or len(self.insert_ps))
+
+    @property
+    def size(self) -> int:
+        """Total number of touched edges."""
+        return len(self.update_eids) + len(self.delete_eids) + len(self.insert_ps)
+
+    # -- construction from label pairs -----------------------------------
+    @classmethod
+    def from_pairs(cls, graph, updates=(), inserts=(), deletes=()) -> "EdgeDeltaBatch":
+        """Build a batch from ``(u, v, p)`` / ``(u, v)`` vertex-label tuples.
+
+        Labels are resolved through ``graph.vertex_indexer()`` and pairs
+        through the current edge enumeration, so this is the natural
+        constructor for external callers (the server's ``/update``
+        endpoint, replay scripts) that speak vertex labels rather than
+        edge ids.  Updated/deleted pairs must exist; inserted pairs must
+        not.
+        """
+        indexer = graph.vertex_indexer()
+        endpoints = graph.edge_index_array()
+        eid_of: dict[tuple[int, int], int] = {}
+        for eid, (a, b) in enumerate(
+            np.sort(endpoints, axis=1).tolist() if len(endpoints) else []
+        ):
+            eid_of[(a, b)] = eid
+
+        def dense(label):
+            # Exact label first; fall back to its string form so JSON
+            # clients can address parsed edge lists (whose labels are
+            # strings) with bare integers.
+            try:
+                return indexer[label]
+            except (KeyError, TypeError):
+                pass
+            try:
+                return indexer[str(label)]
+            except (KeyError, TypeError):
+                raise GraphError(f"vertex not in graph: {label!r}") from None
+
+        def dense_pair(u, v):
+            a, b = dense(u), dense(v)
+            if a == b:
+                raise GraphError(f"self-loops are not allowed: {u!r}")
+            return (a, b) if a < b else (b, a)
+
+        update_eids, update_ps = [], []
+        for u, v, p in updates:
+            pair = dense_pair(u, v)
+            if pair not in eid_of:
+                raise GraphError(f"edge not in graph: ({u!r}, {v!r})")
+            update_eids.append(eid_of[pair])
+            update_ps.append(float(p))
+        delete_eids = []
+        for item in deletes:
+            u, v = item[0], item[1]
+            pair = dense_pair(u, v)
+            if pair not in eid_of:
+                raise GraphError(f"edge not in graph: ({u!r}, {v!r})")
+            delete_eids.append(eid_of[pair])
+        insert_pairs, insert_ps = [], []
+        for u, v, p in inserts:
+            pair = dense_pair(u, v)
+            if pair in eid_of:
+                raise GraphError(f"insert of an existing edge: ({u!r}, {v!r})")
+            insert_pairs.append(pair)
+            insert_ps.append(float(p))
+        return cls(
+            update_eids=np.array(update_eids, dtype=np.int64),
+            update_ps=np.array(update_ps, dtype=np.float64),
+            delete_eids=np.array(delete_eids, dtype=np.int64),
+            insert_endpoints=np.array(insert_pairs, dtype=np.int64).reshape(-1, 2),
+            insert_ps=np.array(insert_ps, dtype=np.float64),
+        )
+
+
+@dataclass
+class AppliedDelta:
+    """Result of applying an :class:`EdgeDeltaBatch` to a graph.
+
+    Bundles everything the incremental consumers need: the post-delta
+    graph, the old-id → new-id map (``-1`` for deleted edges; strictly
+    increasing on survivors), the new ids of inserted edges, the
+    pre-delta probabilities of updated edges (repair distinguishes
+    increases from decreases), and the dense endpoints of deleted edges
+    (their vertices' discrepancies are dirty even though the edges are
+    gone).
+    """
+
+    batch: EdgeDeltaBatch
+    graph: object
+    id_map: np.ndarray          # (old_m,) int64, -1 for deleted edges
+    old_m: int
+    new_m: int
+    structural: bool
+    old_update_ps: np.ndarray   # aligned with batch.update_eids
+    insert_eids: np.ndarray     # new ids aligned with batch.insert_endpoints
+    delete_endpoints: np.ndarray  # (d, 2) dense endpoints of deleted edges
+
+    def update_eids_new(self) -> np.ndarray:
+        """New ids of the updated edges (updates always survive)."""
+        if not self.structural:
+            return self.batch.update_eids
+        return self.id_map[self.batch.update_eids]
+
+    def dirty_new_eids(self) -> np.ndarray:
+        """New ids of every surviving touched edge (updates + inserts)."""
+        return np.concatenate([self.update_eids_new(), self.insert_eids])
+
+    def dirty_vertices(self) -> np.ndarray:
+        """Dense vertices incident to any touched edge (deletes included)."""
+        parts = [self.delete_endpoints.reshape(-1)]
+        dirty = self.dirty_new_eids()
+        if len(dirty):
+            parts.append(
+                np.asarray(self.graph.edge_index_array())[dirty].reshape(-1)
+            )
+        return np.unique(np.concatenate(parts)) if parts else np.empty(0, np.int64)
+
+
+def _check_eid_range(batch: EdgeDeltaBatch, m: int) -> None:
+    for eids, what in ((batch.update_eids, "update"), (batch.delete_eids, "delete")):
+        if len(eids) and eids[-1] >= m:
+            raise GraphError(
+                f"{what} edge id {int(eids[-1])} out of range for {m} edges"
+            )
+
+
+def _check_insert_range(batch: EdgeDeltaBatch, n: int) -> None:
+    pairs = batch.insert_endpoints
+    if len(pairs) and pairs.max() >= n:
+        raise GraphError(
+            "insert endpoint outside the vertex range: probability drift "
+            "rewires existing vertices only (growing |V| is a rebuild)"
+        )
+
+
+def _pair_keys(endpoints: np.ndarray, n: int) -> np.ndarray:
+    """Canonical ``min * n + max`` key per endpoint row."""
+    lo = np.minimum(endpoints[:, 0], endpoints[:, 1])
+    hi = np.maximum(endpoints[:, 0], endpoints[:, 1])
+    return lo * np.int64(n) + hi
+
+
+def apply_delta(graph, batch: EdgeDeltaBatch, in_place: bool = True) -> AppliedDelta:
+    """Apply ``batch`` to ``graph`` and return the :class:`AppliedDelta`.
+
+    ``UncertainGraph`` targets mutate in place by default (``in_place=
+    False`` works on a copy — what the server uses so registered graphs
+    shared with running jobs stay frozen); :class:`EdgeArrayGraph`
+    targets always produce a new instance (their arrays are read-only /
+    memmap-backed), survivors first in row order, inserted edges
+    appended.
+    """
+    if isinstance(graph, UncertainGraph):
+        return _apply_to_uncertain(graph, batch, in_place)
+    return _apply_to_edge_arrays(graph, batch)
+
+
+def _apply_to_uncertain(
+    graph: UncertainGraph, batch: EdgeDeltaBatch, in_place: bool
+) -> AppliedDelta:
+    m = graph.number_of_edges()
+    n = graph.number_of_vertices()
+    _check_eid_range(batch, m)
+    _check_insert_range(batch, n)
+    old_ps = np.array(graph.probability_array(), dtype=np.float64)
+    old_index = graph.edge_index_array()
+    old_update_ps = old_ps[batch.update_eids]
+    delete_endpoints = old_index[batch.delete_eids].copy()
+    if not in_place:
+        graph = graph.copy()
+    edge_list = list(graph.edge_list())
+    vertex_of = list(graph.vertices())
+
+    for eid, p in zip(batch.update_eids.tolist(), batch.update_ps.tolist()):
+        u, v = edge_list[eid]
+        graph.set_probability(u, v, p)
+    if not batch.is_structural:
+        return AppliedDelta(
+            batch=batch, graph=graph, id_map=np.arange(m, dtype=np.int64),
+            old_m=m, new_m=m, structural=False, old_update_ps=old_update_ps,
+            insert_eids=np.empty(0, dtype=np.int64),
+            delete_endpoints=delete_endpoints,
+        )
+
+    for eid in batch.delete_eids.tolist():
+        u, v = edge_list[eid]
+        graph.remove_edge(u, v)
+    for (a, b), p in zip(batch.insert_endpoints.tolist(), batch.insert_ps.tolist()):
+        u, v = vertex_of[a], vertex_of[b]
+        if graph.has_edge(u, v):
+            raise GraphError(f"insert of an existing edge: ({u!r}, {v!r})")
+        graph.add_edge(u, v, p)
+
+    # Derive the id map from the post-mutation enumeration itself: the
+    # dict adjacency interleaves inserted edges (an edge enumerates at
+    # its first endpoint's adjacency position), so positions are matched
+    # by canonical endpoint pair rather than assumed.
+    new_index = graph.edge_index_array()
+    new_keys = _pair_keys(new_index, n)
+    order = np.argsort(new_keys)
+    alive = np.ones(m, dtype=bool)
+    alive[batch.delete_eids] = False
+    id_map = np.full(m, -1, dtype=np.int64)
+    if alive.any():
+        old_keys = _pair_keys(old_index[alive], n)
+        id_map[alive] = order[np.searchsorted(new_keys[order], old_keys)]
+    insert_keys = _pair_keys(batch.insert_endpoints, n)
+    insert_eids = (
+        order[np.searchsorted(new_keys[order], insert_keys)]
+        if len(insert_keys) else np.empty(0, dtype=np.int64)
+    )
+    return AppliedDelta(
+        batch=batch, graph=graph, id_map=id_map, old_m=m,
+        new_m=len(new_keys), structural=True, old_update_ps=old_update_ps,
+        insert_eids=insert_eids, delete_endpoints=delete_endpoints,
+    )
+
+
+def _apply_to_edge_arrays(graph, batch: EdgeDeltaBatch) -> AppliedDelta:
+    from repro.core.array_graph import EdgeArrayGraph
+
+    if not isinstance(graph, EdgeArrayGraph):
+        raise GraphError(
+            f"apply_delta expects an UncertainGraph or EdgeArrayGraph, "
+            f"got {type(graph).__name__}"
+        )
+    m, n = graph.m, graph.n
+    _check_eid_range(batch, m)
+    _check_insert_range(batch, n)
+    src = np.asarray(graph.src)
+    dst = np.asarray(graph.dst)
+    prob = np.array(graph.probability_array(), dtype=np.float64)
+    old_update_ps = prob[batch.update_eids].copy()
+    prob[batch.update_eids] = batch.update_ps
+    delete_endpoints = np.column_stack(
+        (src[batch.delete_eids], dst[batch.delete_eids])
+    )
+    if not batch.is_structural:
+        out = EdgeArrayGraph(n, src, dst, prob, name=graph.name, validate=False)
+        return AppliedDelta(
+            batch=batch, graph=out, id_map=np.arange(m, dtype=np.int64),
+            old_m=m, new_m=m, structural=False, old_update_ps=old_update_ps,
+            insert_eids=np.empty(0, dtype=np.int64),
+            delete_endpoints=delete_endpoints,
+        )
+
+    keep = np.ones(m, dtype=bool)
+    keep[batch.delete_eids] = False
+    if len(batch.insert_endpoints):
+        live_keys = (np.minimum(src, dst) * np.int64(n) + np.maximum(src, dst))[keep]
+        insert_keys = _pair_keys(batch.insert_endpoints, n)
+        if np.any(np.isin(insert_keys, live_keys)):
+            raise GraphError("insert of an existing edge")
+    new_src = np.concatenate([src[keep], batch.insert_endpoints[:, 0]])
+    new_dst = np.concatenate([dst[keep], batch.insert_endpoints[:, 1]])
+    new_prob = np.concatenate([prob[keep], batch.insert_ps])
+    out = EdgeArrayGraph(n, new_src, new_dst, new_prob, name=graph.name,
+                         validate=False)
+    id_map = np.full(m, -1, dtype=np.int64)
+    kept = int(keep.sum())
+    id_map[keep] = np.arange(kept, dtype=np.int64)
+    insert_eids = kept + np.arange(len(batch.insert_ps), dtype=np.int64)
+    return AppliedDelta(
+        batch=batch, graph=out, id_map=id_map, old_m=m, new_m=len(new_prob),
+        structural=True, old_update_ps=old_update_ps, insert_eids=insert_eids,
+        delete_endpoints=delete_endpoints,
+    )

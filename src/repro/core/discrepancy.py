@@ -278,7 +278,33 @@ class SparsificationState:
             raise GraphError("apply_probabilities on an unselected edge")
         if len(np.unique(eids)) != len(eids):
             raise GraphError("duplicate edge ids in apply_probabilities")
+        # Same probability domain as ``UncertainGraph.from_edge_arrays``:
+        # the in-place path used to skip this, letting out-of-domain
+        # values hide until materialisation.  (NaN fails both
+        # comparisons, so it is rejected too.)
+        bad = np.flatnonzero(~((new_ps > 0.0) & (new_ps <= 1.0)))
+        if len(bad):
+            raise GraphError(
+                f"edge probability must be in (0, 1], got "
+                f"{new_ps[bad[0]]!r} for edge {int(eids[bad[0]])}"
+            )
         self._scatter_probabilities(eids, new_ps)
+
+    def deselect_edges(self, eids: np.ndarray) -> np.ndarray:
+        """Remove a batch of distinct edges from the sparsified set.
+
+        Vectorised counterpart of looping :meth:`deselect_edge`; returns
+        the edges' last probabilities (aligned with ``eids``).
+        """
+        eids = np.asarray(eids, dtype=np.int64)
+        if not np.all(self.selected[eids]):
+            raise GraphError("deselect of an unselected edge in batch")
+        if len(np.unique(eids)) != len(eids):
+            raise GraphError("duplicate edge ids in batch deselect")
+        old = self.phat[eids].copy()
+        self._scatter_probabilities(eids, np.zeros(len(eids), dtype=np.float64))
+        self.selected[eids] = False
+        return old
 
     def _scatter_probabilities(self, eids: np.ndarray, new_ps: np.ndarray) -> None:
         """Unchecked batched update (callers have validated ``eids``)."""
@@ -289,22 +315,111 @@ class SparsificationState:
         self.phat[eids] = new_ps
 
     # -- snapshots (grid sweeps re-anneal from a shared seed state) --------
-    def snapshot(self) -> tuple:
-        """O(m + n) copy of the mutable state (see :meth:`restore`)."""
+    def snapshot(self, eids: "np.ndarray | None" = None) -> tuple:
+        """Copy of the mutable state (see :meth:`restore`).
+
+        With ``eids=None`` (the default) the snapshot is the full
+        O(m + n) copy the grid driver uses.  Passing an edge-id array
+        takes an O(dirty) *partial* snapshot covering exactly those
+        edges and their endpoint vertices — valid to restore only if no
+        other edge's ``phat``/``selected`` entry (and hence no other
+        vertex's ``delta``) mutates in between, which is the contract of
+        a tight update loop that touches a known dirty set.  Restoring a
+        partial snapshot is bit-identical to restoring a full one taken
+        at the same moment.
+        """
+        if eids is None:
+            return (
+                self.phat.copy(),
+                self.selected.copy(),
+                self.delta.copy(),
+                self.total_residual,
+            )
+        eids = np.asarray(eids, dtype=np.int64)
+        vertices = np.unique(self.edge_vertices[eids])
         return (
-            self.phat.copy(),
-            self.selected.copy(),
-            self.delta.copy(),
+            "partial",
+            eids.copy(),
+            self.phat[eids].copy(),
+            self.selected[eids].copy(),
+            vertices,
+            self.delta[vertices].copy(),
             self.total_residual,
         )
 
     def restore(self, snap: tuple) -> None:
         """Restore a :meth:`snapshot`; the grid driver's reset-per-cell."""
+        if isinstance(snap[0], str):
+            _, eids, phat, selected, vertices, delta, total_residual = snap
+            self.phat[eids] = phat
+            self.selected[eids] = selected
+            self.delta[vertices] = delta
+            self.total_residual = total_residual
+            return
         phat, selected, delta, total_residual = snap
         self.phat[:] = phat
         self.selected[:] = selected
         self.delta[:] = delta
         self.total_residual = total_residual
+
+    # -- streaming deltas --------------------------------------------------
+    def apply_delta(self, applied) -> None:
+        """Re-key the state after an applied edge-delta batch.
+
+        ``applied`` is the :class:`repro.core.delta.AppliedDelta` of a
+        batch already applied to the underlying graph.  Pure probability
+        updates adjust ``p_original`` / ``original_degrees`` / ``delta``
+        / ``total_residual`` in O(batch) (``phat`` and membership are
+        untouched — re-refinement is the caller's move); structural
+        batches rebuild the arrays in the new id space, carrying the
+        surviving edges' ``phat`` and membership across ``id_map``
+        (deleted selected edges drop out of ``E'`` with their mass).
+        """
+        batch = applied.batch
+        if not applied.structural:
+            eids = batch.update_eids
+            if not len(eids):
+                self.graph = applied.graph
+                return
+            dp = batch.update_ps - self.p_original[eids]
+            if not self.original_degrees.flags.writeable:
+                # EdgeArrayGraph shares its cached read-only degree array.
+                self.original_degrees = self.original_degrees.copy()
+            for col in (0, 1):
+                np.add.at(self.original_degrees, self.edge_vertices[eids, col], dp)
+                np.add.at(self.delta, self.edge_vertices[eids, col], dp)
+            self.total_residual += float(dp.sum())
+            self.p_original[eids] = batch.update_ps
+            self.graph = applied.graph
+            return
+
+        graph = applied.graph
+        old_phat = self.phat
+        old_selected = self.selected
+        alive = applied.id_map >= 0
+        self.graph = graph
+        self.edge_vertices = graph.edge_index_array()
+        self.p_original = np.array(graph.probability_array(), dtype=np.float64)
+        self.m = len(self.p_original)
+        self.phat = np.zeros(self.m, dtype=np.float64)
+        self.selected = np.zeros(self.m, dtype=bool)
+        self.phat[applied.id_map[alive]] = old_phat[alive]
+        self.selected[applied.id_map[alive]] = old_selected[alive]
+        self.original_degrees = graph.expected_degree_array()
+        held = np.zeros(self.n, dtype=np.float64)
+        sel = np.flatnonzero(self.selected)
+        np.add.at(held, self.edge_vertices[sel, 0], self.phat[sel])
+        np.add.at(held, self.edge_vertices[sel, 1], self.phat[sel])
+        self.delta = self.original_degrees - held
+        self.total_residual = float(self.p_original.sum() - self.phat.sum())
+        flat = self.edge_vertices.reshape(-1)
+        order = np.argsort(flat, kind="stable")
+        self.inc_eids = order // 2
+        self.inc_eids.setflags(write=False)
+        counts = np.bincount(flat, minlength=self.n)
+        self.inc_indptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.inc_indptr[1:])
+        self.inc_indptr.setflags(write=False)
 
     # -- views ------------------------------------------------------------
     def selected_edge_ids(self) -> np.ndarray:

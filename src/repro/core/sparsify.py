@@ -33,7 +33,13 @@ import numpy as np
 
 from repro.core.backbone import BackbonePlan, build_backbone, target_edge_count
 from repro.core.emd_sparsifier import EMDConfig, emd
-from repro.core.gdb import GDBConfig, _validate_engine, gdb
+from repro.core.gdb import (
+    GDBConfig,
+    _resolve_backbone,
+    _validate_engine,
+    gdb,
+    gdb_refine_warm,
+)
 from repro.core.lp import lp_sparsify
 from repro.core.uncertain_graph import UncertainGraph
 
@@ -118,6 +124,7 @@ def sparsify(
     lp_solver: str = "highs",
     emd_mode: str = "eager",
     backend=None,
+    warm_state=None,
 ) -> UncertainGraph:
     """Sparsify an uncertain graph with any paper variant.
 
@@ -170,6 +177,15 @@ def sparsify(
         :func:`repro.backend.available_backends`).  Only the GDB
         variants have the color-blocked array seam; passing a
         non-reference backend with any other variant raises.
+    warm_state:
+        Optional :class:`~repro.core.discrepancy.SparsificationState`
+        carrying previously-converged probabilities for ``graph`` (GDB
+        variants only).  The call diffs the new backbone against the
+        state's current selection, re-seeds only the membership diff,
+        and re-converges with warm-started dirty-region sweeps
+        (:func:`repro.core.gdb.gdb_refine_warm`) instead of refining
+        from scratch — the streaming maintenance hot path.  The state
+        is refined *in place* and stays usable for the next call.
 
     Returns
     -------
@@ -207,6 +223,39 @@ def sparsify(
         if backbone is not None
         else dict(alpha=alpha, backbone_plan=backbone_plan)
     )
+
+    if warm_state is not None:
+        if spec.method != "gdb":
+            raise ValueError(
+                f"variant {spec.canonical_name!r} does not take warm_state; "
+                f"warm-started maintenance applies to the GDB variants only"
+            )
+        if warm_state.graph is not graph:
+            raise ValueError("warm_state was built for a different graph")
+        config = GDBConfig(h=h, tau=tau, k=spec.k, relative=spec.relative)
+        backbone_ids = _resolve_backbone(
+            graph,
+            alpha if backbone is None else None,
+            backbone,
+            backbone_method,
+            rng,
+            backbone_plan,
+        )
+        state = warm_state
+        new_sel = np.zeros(len(state.phat), dtype=bool)
+        new_sel[np.asarray(backbone_ids, dtype=np.int64)] = True
+        removed = np.flatnonzero(state.selected & ~new_sel)
+        added = np.flatnonzero(new_sel & ~state.selected)
+        if len(removed):
+            state.deselect_edges(removed)
+        if len(added):
+            state.select_edges(added)
+        diff = np.concatenate([removed, added])
+        dirty = np.unique(state.edge_vertices[diff].ravel())
+        gdb_refine_warm(
+            state, config, dirty_vertices=dirty, engine=engine, backend=xp
+        )
+        return state.build_graph(name=label)
 
     if spec.method == "gdb":
         config = GDBConfig(h=h, tau=tau, k=spec.k, relative=spec.relative)

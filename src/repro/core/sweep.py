@@ -123,7 +123,18 @@ def build_sweep_plan(
             seq_v=endpoints[:, 1].tolist(),
         )
     colors = greedy_edge_coloring(endpoints)
+    return _layout_plan(state, eids, colors, min_block_size)
+
+
+def _layout_plan(
+    state: SparsificationState,
+    eids: np.ndarray,
+    colors: np.ndarray,
+    min_block_size: int = MIN_BLOCK_SIZE,
+) -> SweepPlan:
+    """Lay out blocks/tail/sequential lists for an already-colored set."""
     n_colors = int(colors.max()) + 1 if len(colors) else 0
+    endpoints = state.edge_vertices[eids]
     plan = SweepPlan(
         eids=eids,
         colors=colors,
@@ -149,6 +160,80 @@ def build_sweep_plan(
     if tail:
         plan.tail_eids = np.sort(np.concatenate(tail)).tolist()
     return plan
+
+
+def restrict_sweep_plan(
+    state: SparsificationState,
+    plan: SweepPlan,
+    eids,
+    min_block_size: int = MIN_BLOCK_SIZE,
+) -> SweepPlan:
+    """Sub-plan of ``plan`` covering only the edges in ``eids``.
+
+    Any subset of a proper color class is still proper, so the restricted
+    plan inherits the parent's colors verbatim — no re-coloring — and
+    just re-cuts the block/tail layout (classes that shrink below
+    ``min_block_size`` fold into the scalar tail).  The warm-started GDB
+    path uses this to sweep only the dirty region of a converged state.
+    """
+    eids = np.asarray(eids, dtype=np.int64)
+    mask = np.isin(plan.eids, eids)
+    return _layout_plan(state, plan.eids[mask], plan.colors[mask], min_block_size)
+
+
+def extend_sweep_plan(
+    state: SparsificationState,
+    eids,
+    colors,
+    added_eids,
+    min_block_size: int = MIN_BLOCK_SIZE,
+) -> SweepPlan:
+    """Grow a colored edge set by ``added_eids`` without re-coloring it.
+
+    The surviving edges keep their colors (``eids`` aligned with
+    ``colors``; the coloring must be proper, e.g. taken from an existing
+    :class:`SweepPlan`); each added edge greedily takes the lowest color
+    unused at either endpoint, consulting per-vertex bitmasks built
+    lazily from the state's CSR incidence.  The merged set is returned
+    in ascending edge-id order, matching :func:`build_sweep_plan`'s
+    layout conventions.
+    """
+    eids = np.asarray(eids, dtype=np.int64)
+    colors = np.asarray(colors, dtype=np.int64)
+    added = np.unique(np.asarray(added_eids, dtype=np.int64))
+    if len(added) and len(eids) and np.isin(added, eids).any():
+        raise ValueError("added edges overlap the existing plan")
+    if not len(added):
+        return _layout_plan(state, eids, colors, min_block_size)
+    color_of = dict(zip(eids.tolist(), colors.tolist()))
+    used: dict[int, int] = {}
+    ev = state.edge_vertices
+
+    def vertex_mask(v: int) -> int:
+        mask = used.get(v)
+        if mask is None:
+            mask = 0
+            for eid in state.incident_edges(v).tolist():
+                c = color_of.get(eid)
+                if c is not None:
+                    mask |= 1 << c
+            used[v] = mask
+        return mask
+
+    new_colors = np.empty(len(added), dtype=np.int64)
+    for i, eid in enumerate(added.tolist()):
+        u, v = int(ev[eid, 0]), int(ev[eid, 1])
+        mask = vertex_mask(u) | vertex_mask(v)
+        free = ~mask & (mask + 1)  # lowest zero bit of the mask
+        c = free.bit_length() - 1
+        new_colors[i] = c
+        color_of[eid] = c
+        used[u] |= free
+        used[v] |= free
+    all_eids = np.concatenate([eids, added])
+    all_colors = np.concatenate([colors, new_colors])
+    order = np.argsort(all_eids, kind="stable")
+    return _layout_plan(state, all_eids[order], all_colors[order], min_block_size)
 
 
 # ----------------------------------------------------------------------
@@ -228,6 +313,118 @@ def colored_sweep(
         phat[class_eids] = new_p
     for eid in plan.tail_eids:
         apply_scalar_step(state, eid, scalar_rule(state, eid), h)
+
+
+def apply_probability_vector(state: SparsificationState, eids: np.ndarray,
+                             values: np.ndarray) -> None:
+    """Set ``phat[eids] = clip(values, 0, 1)`` with exact bookkeeping.
+
+    Unlike the sweep engines this is not a descent step: it writes an
+    externally-computed probability vector (the warm path's geometric
+    extrapolation jumps through here) while maintaining ``delta`` and
+    ``total_residual`` incrementally.  Endpoints may repeat across
+    ``eids``, so the scatter accumulates.
+    """
+    eids = np.asarray(eids, dtype=np.int64)
+    values = np.clip(np.asarray(values, dtype=np.float64), 0.0, 1.0)
+    changes = values - state.phat[eids]
+    ends = state.edge_vertices[eids]
+    np.subtract.at(state.delta, ends[:, 0], changes)
+    np.subtract.at(state.delta, ends[:, 1], changes)
+    state.total_residual -= float(changes.sum())
+    state.phat[eids] = values
+
+
+def local_fused_sweeps(
+    state: SparsificationState,
+    plan: SweepPlan,
+    relative: bool,
+    h: float,
+    tau: float,
+    max_sweeps: int,
+) -> int:
+    """Reference-order ``k = 1`` sweeps touching only ``plan``'s edges.
+
+    The fused engine above still pays ``O(n + m)`` per sweep to pull and
+    write back the full state arrays; on a dirty region of a few dozen
+    edges that overhead dwarfs the arithmetic.  This variant localises
+    everything: endpoint discrepancies are pulled once for the region's
+    vertices, per-sweep work is ``O(|plan|)`` plain-float operations in
+    the same edge-id order and with the same step/clamp/attenuation
+    arithmetic as the reference loop, and the arrays are written back
+    once at the end.
+
+    The stop test mirrors :func:`~repro.core.gdb.gdb_refine`'s
+    (objective improvement ``<= tau``), with the global objective
+    assembled incrementally as ``d1_outside + d1_region`` — only the
+    region's contribution can change.  The assembly order differs from
+    ``state.d1()``'s full-array sum, so the test controls *effort*, not
+    the certificate: callers re-certify globally afterwards.  Returns
+    the sweep count.
+    """
+    seq_eids = plan.seq_eids
+    if not seq_eids:
+        return 0
+    verts = sorted({*plan.seq_u, *plan.seq_v})
+    vert_index = {v: i for i, v in enumerate(verts)}
+    lu = [vert_index[u] for u in plan.seq_u]
+    lv = [vert_index[v] for v in plan.seq_v]
+    dloc = state.delta[verts].tolist()
+    ploc = state.phat[seq_eids].tolist()
+    if relative:
+        degrees = [float(state.original_degrees[v]) for v in verts]
+        weight = [1.0 / (d * d) if d > 0.0 else 0.0 for d in degrees]
+    else:
+        degrees = None
+        weight = [1.0] * len(verts)
+    region = sum(w * d * d for w, d in zip(weight, dloc))
+    outside = state.d1(relative=relative) - region
+    objective = outside + region
+    total_change = 0.0
+    sweeps = 0
+    for _ in range(max_sweeps):
+        for i in range(len(seq_eids)):
+            iu = lu[i]
+            iv = lv[i]
+            du = dloc[iu]
+            dv = dloc[iv]
+            if relative:
+                pi_u = degrees[iu]
+                pi_v = degrees[iv]
+                denominator = pi_u + pi_v
+                step = (
+                    (pi_v * du + pi_u * dv) / denominator
+                    if denominator > 0.0 else 0.0
+                )
+            else:
+                step = 0.5 * (du + dv)
+            current = ploc[i]
+            proposed = current + step
+            if proposed < 0.0:
+                new_p = 0.0
+            elif proposed > 1.0:
+                new_p = 1.0
+            elif abs(proposed - 0.5) < abs(current - 0.5):
+                new_p = min(max(current + h * step, 0.0), 1.0)
+            else:
+                new_p = proposed
+            if new_p != current:
+                change = new_p - current
+                dloc[iu] = du - change
+                dloc[iv] = dloc[iv] - change
+                total_change += change
+                ploc[i] = new_p
+        sweeps += 1
+        region = sum(w * d * d for w, d in zip(weight, dloc))
+        new_objective = outside + region
+        if abs(objective - new_objective) <= tau:
+            objective = new_objective
+            break
+        objective = new_objective
+    state.delta[verts] = dloc
+    state.phat[np.asarray(seq_eids, dtype=np.int64)] = ploc
+    state.total_residual -= total_change
+    return sweeps
 
 
 # ----------------------------------------------------------------------

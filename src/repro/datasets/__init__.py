@@ -17,6 +17,7 @@ from repro.datasets.binary_io import (
     write_binary,
     write_binary_arrays,
 )
+from repro.datasets.drift import DriftWorkload
 from repro.datasets.forest_fire import forest_fire_sample
 from repro.datasets.io import (
     content_digest,
@@ -43,6 +44,7 @@ from repro.datasets.synthetic import (
 __all__ = [
     "BinaryDataset",
     "BinaryHeader",
+    "DriftWorkload",
     "barabasi_albert_uncertain",
     "beta_probability_sampler",
     "binary_digest",

@@ -1,0 +1,188 @@
+"""Drifting-workload generator: seeded, replayable edge-delta streams.
+
+Models probability drift the way NU-MILA's ``probgraph.py`` maintains
+conditional-probability edges (SNIPPETS.md №1-2): every edge carries an
+evidence *count* ``c`` against a smoothing mass ``s``, its probability
+is ``p = c / (c + s)``, and the stream either **bumps** the count
+(``c += bump`` — the edge was observed again, probability rises) or
+**decays** it (``c *= decay`` — evidence fades, probability falls).
+Counts are seeded from the graph's current probabilities by inverting
+the link function (``c = s p / (1 - p)``), so the first batch drifts
+smoothly away from the initial assignment rather than jumping.
+
+Structural churn is optional: a delete rate retires random edges and an
+insert rate wires new edges between existing vertices (born with the
+one-observation probability ``bump / (bump + s)``).
+
+Every batch comes out as a canonical
+:class:`~repro.core.delta.EdgeDeltaBatch`, and the whole stream is a
+pure function of the seed and the call sequence — replaying a
+:class:`DriftWorkload` with the same seed against the same evolving
+graph reproduces the batches bit-for-bit (the determinism contract
+``tests/test_delta.py`` pins and the streaming benchmark relies on).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.delta import EdgeDeltaBatch
+from repro.exceptions import GraphError
+
+
+class DriftWorkload:
+    """Seeded bump/decay drift stream over an uncertain graph.
+
+    Parameters
+    ----------
+    graph:
+        The graph the stream starts from (used only to size the first
+        batches; pass the *current* graph to :meth:`next_batch` as it
+        evolves).
+    edge_fraction:
+        Fraction of live edges whose probability drifts per batch.
+    bump:
+        Count increment of an observed edge (and the evidence mass of a
+        newly inserted edge).
+    decay:
+        Multiplicative count decay of a fading edge, in ``(0, 1]``.
+    smoothing:
+        Smoothing mass ``s`` of the count -> probability link
+        ``p = c / (c + s)`` (NU-MILA uses 10).
+    insert_rate / delete_rate:
+        Fraction of live edges inserted / deleted per batch (0 disables;
+        deletes never empty the graph and inserts only wire existing
+        vertices).
+    p_min / p_max:
+        Clamp of the drifted probabilities (kept strictly inside
+        ``(0, 1]``).
+    seed:
+        Integer seed of the single RNG stream behind every batch.
+    """
+
+    def __init__(
+        self,
+        graph,
+        edge_fraction: float = 0.05,
+        bump: float = 1.0,
+        decay: float = 0.97,
+        smoothing: float = 10.0,
+        insert_rate: float = 0.0,
+        delete_rate: float = 0.0,
+        p_min: float = 1e-3,
+        p_max: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if not (0.0 < edge_fraction <= 1.0):
+            raise ValueError(
+                f"edge_fraction must be in (0, 1], got {edge_fraction}"
+            )
+        if not (0.0 < decay <= 1.0):
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        if bump <= 0.0 or smoothing <= 0.0:
+            raise ValueError("bump and smoothing must be positive")
+        if not (0.0 < p_min <= p_max <= 1.0):
+            raise ValueError(
+                f"need 0 < p_min <= p_max <= 1, got [{p_min}, {p_max}]"
+            )
+        if insert_rate < 0.0 or delete_rate < 0.0:
+            raise ValueError("insert_rate and delete_rate must be >= 0")
+        self.n = graph.number_of_vertices()
+        self.edge_fraction = float(edge_fraction)
+        self.bump = float(bump)
+        self.decay = float(decay)
+        self.smoothing = float(smoothing)
+        self.insert_rate = float(insert_rate)
+        self.delete_rate = float(delete_rate)
+        self.p_min = float(p_min)
+        self.p_max = float(p_max)
+        self.seed = int(seed)
+        self._rng = np.random.default_rng(self.seed)
+        # Evidence counts keyed by canonical dense endpoint pair —
+        # stable across structural batches (edge ids renumber, vertex
+        # ids never do).
+        self._counts: dict[tuple[int, int], float] = {}
+        self.batches_emitted = 0
+
+    # -- the count <-> probability link -----------------------------------
+    def _seed_count(self, p: float) -> float:
+        p_eff = min(max(p, self.p_min), 1.0 - 1e-9)
+        return self.smoothing * p_eff / (1.0 - p_eff)
+
+    def _probability(self, count: float) -> float:
+        p = count / (count + self.smoothing)
+        return min(max(p, self.p_min), self.p_max)
+
+    # -- batch generation -------------------------------------------------
+    def next_batch(self, graph) -> EdgeDeltaBatch:
+        """Draw the next delta batch against the graph's *current* ids."""
+        if graph.number_of_vertices() != self.n:
+            raise GraphError(
+                "drift workload is bound to a fixed vertex population"
+            )
+        rng = self._rng
+        endpoints = np.asarray(graph.edge_index_array())
+        ps = np.asarray(graph.probability_array(), dtype=np.float64)
+        m = len(ps)
+        if m == 0:
+            raise GraphError("cannot drift a graph with no edges")
+        lo = np.minimum(endpoints[:, 0], endpoints[:, 1])
+        hi = np.maximum(endpoints[:, 0], endpoints[:, 1])
+
+        k = min(m, max(1, int(round(self.edge_fraction * m))))
+        picks = np.sort(rng.choice(m, size=k, replace=False))
+        bumped = rng.random(k) < 0.5
+        update_ps = np.empty(k, dtype=np.float64)
+        for i, eid in enumerate(picks.tolist()):
+            key = (int(lo[eid]), int(hi[eid]))
+            count = self._counts.get(key)
+            if count is None:
+                count = self._seed_count(float(ps[eid]))
+            count = count + self.bump if bumped[i] else count * self.decay
+            self._counts[key] = count
+            update_ps[i] = self._probability(count)
+
+        delete_eids = np.empty(0, dtype=np.int64)
+        if self.delete_rate > 0.0:
+            nd = int(round(self.delete_rate * m))
+            candidates = np.setdiff1d(
+                np.arange(m, dtype=np.int64), picks, assume_unique=True
+            )
+            nd = min(nd, max(0, len(candidates) - 1))  # never empty the graph
+            if nd:
+                delete_eids = np.sort(rng.choice(candidates, size=nd, replace=False))
+                for eid in delete_eids.tolist():
+                    self._counts.pop((int(lo[eid]), int(hi[eid])), None)
+
+        insert_pairs: list[tuple[int, int]] = []
+        insert_ps: list[float] = []
+        if self.insert_rate > 0.0:
+            ni = int(round(self.insert_rate * m))
+            if ni:
+                live = set(zip(lo.tolist(), hi.tolist()))
+                fresh: set[tuple[int, int]] = set()
+                # Bounded rejection sampling; a dense graph may yield
+                # fewer inserts than requested, which is fine.
+                for _ in range(8 * ni):
+                    if len(insert_pairs) >= ni:
+                        break
+                    a, b = rng.integers(0, self.n, size=2).tolist()
+                    if a == b:
+                        continue
+                    pair = (a, b) if a < b else (b, a)
+                    if pair in live or pair in fresh:
+                        continue
+                    fresh.add(pair)
+                    count = self.bump
+                    self._counts[pair] = count
+                    insert_pairs.append(pair)
+                    insert_ps.append(self._probability(count))
+
+        self.batches_emitted += 1
+        return EdgeDeltaBatch(
+            update_eids=picks,
+            update_ps=update_ps,
+            delete_eids=delete_eids,
+            insert_endpoints=np.array(insert_pairs, dtype=np.int64).reshape(-1, 2),
+            insert_ps=np.array(insert_ps, dtype=np.float64),
+        )

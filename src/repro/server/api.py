@@ -16,6 +16,14 @@ control).  Endpoints:
 ``POST /grid``
     ``{"dataset": path, "alphas": [...], "h_values": [...], "k": 1,
     "relative": false, "seed": 0}`` → converged objectives per cell.
+``POST /update``
+    ``{"dataset": path, "updates": [[u, v, p], ...],
+    "inserts": [[u, v, p], ...], "deletes": [[u, v], ...],
+    "resparsify": {sparsify params}}`` → applies an edge-delta batch to
+    the registered dataset, invalidates exactly the superseded digest's
+    cached artifacts, repairs the dataset's backbone plan in place of a
+    rebuild, and (with ``resparsify``) refreshes the artifact at
+    background priority.
 ``POST /schedule``
     ``{"name": ..., "interval_s": ..., "params": {sparsify params}}``
     → registers a recurring re-sparsification refresh.
@@ -127,6 +135,10 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
                 body, hit = self.service.handle(endpoint, params)
                 self._send(200, body,
                            {"X-Repro-Cache": "hit" if hit else "miss"})
+            elif endpoint == "update":
+                self._send(200, canonical_body(
+                    self.service.update(dict(params))
+                ))
             elif endpoint == "schedule":
                 self._send(200, canonical_body(self._schedule(params)))
             else:

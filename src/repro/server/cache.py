@@ -87,6 +87,11 @@ class ArtifactCache:
         self._spilled: "OrderedDict[Hashable, tuple[str, str, int]]" = OrderedDict()
         self._spill_bytes = 0
         self._inflight: dict[Hashable, _Flight] = {}
+        #: tag -> keys carrying it, and the reverse map.  Tags group the
+        #: artifacts derived from one dataset digest so a delta push can
+        #: evict exactly the stale ones (:meth:`invalidate`).
+        self._tags: dict[Hashable, set] = {}
+        self._tag_of: dict[Hashable, Hashable] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -96,6 +101,7 @@ class ArtifactCache:
         self.spill_hits = 0    # lookups served by reloading from disk
         self.spill_evictions = 0  # spilled artifacts dropped for space
         self.spill_corrupt = 0    # reloads rejected by digest verification
+        self.invalidations = 0    # artifacts dropped by tag invalidation
         if spill_dir is not None:
             os.makedirs(spill_dir, exist_ok=True)
 
@@ -107,22 +113,48 @@ class ArtifactCache:
         with self._lock:
             return key in self._entries or key in self._spilled
 
+    # -- tag index (all methods called with the lock held) ------------------
+    def _tag_locked(self, key: Hashable, tag: Hashable) -> None:
+        if tag is None:
+            return
+        old = self._tag_of.get(key)
+        if old == tag:
+            return
+        if old is not None:
+            members = self._tags.get(old)
+            if members is not None:
+                members.discard(key)
+                if not members:
+                    del self._tags[old]
+        self._tag_of[key] = tag
+        self._tags.setdefault(tag, set()).add(key)
+
+    def _untag_locked(self, key: Hashable) -> None:
+        tag = self._tag_of.pop(key, None)
+        if tag is not None:
+            members = self._tags.get(tag)
+            if members is not None:
+                members.discard(key)
+                if not members:
+                    del self._tags[tag]
+
     # -- spill tier (all methods called with the lock held) -----------------
     def _evict_overflow_locked(self) -> None:
         while len(self._entries) > self.capacity:
             key, value = self._entries.popitem(last=False)
             self.evictions += 1
-            self._spill_put_locked(key, value)
+            if not self._spill_put_locked(key, value):
+                self._untag_locked(key)  # gone from both tiers
 
-    def _spill_put_locked(self, key: Hashable, value: Any) -> None:
+    def _spill_put_locked(self, key: Hashable, value: Any) -> bool:
         if self.spill_dir is None or not isinstance(value, bytes):
-            return  # only byte artifacts have a canonical disk form
+            return False  # only byte artifacts have a canonical disk form
         name = _spill_name(key)
         try:
             with open(os.path.join(self.spill_dir, name), "wb") as fh:
                 fh.write(value)
         except OSError:
-            return  # a full/broken spill disk degrades to plain eviction
+            return False  # a full/broken spill disk degrades to plain eviction
         previous = self._spilled.pop(key, None)
         if previous is not None:
             self._spill_bytes -= previous[2]
@@ -130,8 +162,12 @@ class ArtifactCache:
         self._spill_bytes += len(value)
         self.spills += 1
         while self._spill_bytes > self.spill_capacity_bytes and self._spilled:
-            self._spill_drop_locked(next(iter(self._spilled)))
+            evicted = next(iter(self._spilled))
+            self._spill_drop_locked(evicted)
             self.spill_evictions += 1
+            if evicted != key:
+                self._untag_locked(evicted)
+        return key in self._spilled
 
     def _spill_drop_locked(self, key: Hashable) -> None:
         name, _digest, size = self._spilled.pop(key)
@@ -155,6 +191,7 @@ class ArtifactCache:
         if value is None or hashlib.sha256(value).hexdigest() != digest:
             # Lost or corrupted on disk: never serve it, forget it.
             self._spill_drop_locked(key)
+            self._untag_locked(key)
             self.spill_corrupt += 1
             return None
         self._spill_drop_locked(key)
@@ -178,17 +215,40 @@ class ArtifactCache:
             self.misses += 1
             return None
 
-    def put(self, key: Hashable, value: Any) -> None:
-        """Insert/refresh an entry, evicting the least recently used."""
+    def put(self, key: Hashable, value: Any, tag: Hashable = None) -> None:
+        """Insert/refresh an entry, evicting the least recently used.
+
+        ``tag`` (optional) groups the key for :meth:`invalidate` — the
+        server tags every artifact with its dataset's content digest.
+        """
         with self._lock:
             if key in self._spilled:
                 self._spill_drop_locked(key)  # superseded by fresh value
             self._entries[key] = value
             self._entries.move_to_end(key)
+            self._tag_locked(key, tag)
             self._evict_overflow_locked()
 
+    def invalidate(self, tag: Hashable) -> int:
+        """Drop every artifact tagged ``tag`` from both tiers.
+
+        Returns the number of artifacts dropped.  This is the targeted
+        eviction path of a dataset delta push: only the keys derived
+        from the superseded digest go, every other dataset's artifacts
+        stay hot.
+        """
+        with self._lock:
+            keys = self._tags.pop(tag, set())
+            for key in keys:
+                self._tag_of.pop(key, None)
+                self._entries.pop(key, None)
+                if key in self._spilled:
+                    self._spill_drop_locked(key)
+            self.invalidations += len(keys)
+            return len(keys)
+
     def get_or_compute(
-        self, key: Hashable, compute: Callable[[], Any]
+        self, key: Hashable, compute: Callable[[], Any], tag: Hashable = None
     ) -> tuple[Any, bool]:
         """Return ``(value, served_without_computing)`` for ``key``.
 
@@ -234,6 +294,7 @@ class ArtifactCache:
             self.misses += 1
             self._entries[key] = value
             self._entries.move_to_end(key)
+            self._tag_locked(key, tag)
             self._evict_overflow_locked()
             del self._inflight[key]
         flight.event.set()
@@ -249,6 +310,8 @@ class ArtifactCache:
                 "single_flight_joins": self.joined,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "tagged_keys": len(self._tag_of),
                 "hit_rate": (
                     (self.hits + self.joined + self.spill_hits) / lookups
                     if lookups else 0.0
@@ -272,6 +335,9 @@ class ArtifactCache:
             for key in list(self._spilled):
                 self._spill_drop_locked(key)
             self._spill_bytes = 0
+            self._tags.clear()
+            self._tag_of.clear()
             self.hits = self.misses = self.evictions = self.joined = 0
             self.spills = self.spill_hits = 0
             self.spill_evictions = self.spill_corrupt = 0
+            self.invalidations = 0

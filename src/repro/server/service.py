@@ -28,10 +28,16 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.core.backbone import BackbonePlan
+from repro.core.delta import EdgeDeltaBatch, apply_delta
 from repro.core.grid import gdb_grid, objective_rows
 from repro.core.sparsify import parse_variant, sparsify
-from repro.datasets.io import content_digest, format_edge_list, parse_edge_list
-from repro.exceptions import ServerError
+from repro.datasets.io import (
+    content_digest,
+    format_edge_list,
+    graph_digest,
+    parse_edge_list,
+)
+from repro.exceptions import AdmissionError, ServerError
 from repro.server.cache import ArtifactCache
 from repro.server.meter import ThroughputMeter
 from repro.server.queue import PriorityJobQueue
@@ -106,6 +112,11 @@ class SparsifierService:
         self.started = time.monotonic()
         self._datasets: "OrderedDict[str, dict]" = OrderedDict()
         self._datasets_lock = threading.Lock()
+        #: dataset path -> live digest after a ``/update`` delta push.
+        #: Consulted before the on-disk content so later requests see
+        #: the drifted graph; guarded by ``_datasets_lock``.
+        self._overlays: dict[str, str] = {}
+        self._update_lock = threading.Lock()
         self._stop = threading.Event()
         self._workers = [
             threading.Thread(
@@ -156,7 +167,8 @@ class SparsifierService:
         priority = norm.pop("priority")
         key = canonical_body({"endpoint": endpoint, **norm})
         body, served_from_cache = self.cache.get_or_compute(
-            key, lambda: self._compute(endpoint, norm, priority)
+            key, lambda: self._compute(endpoint, norm, priority),
+            tag=norm["digest"],
         )
         worlds = 0
         if endpoint == "estimate" and not served_from_cache:
@@ -175,6 +187,11 @@ class SparsifierService:
             return self._run_estimate(job.params)
         if job.kind == "grid":
             return self._run_grid(job.params)
+        if job.kind == "drift_refresh":
+            body = self._run_sparsify(job.params["norm"])
+            self.cache.put(job.params["key"], body,
+                           tag=job.params["norm"]["digest"])
+            return body
         raise ServerError(f"unknown job kind {job.kind!r}")
 
     # -- parameter normalisation ---------------------------------------------
@@ -306,7 +323,21 @@ class SparsifierService:
         sections and *verifies* them against that digest, closing the
         same rewrite race from the other side: a digest only ever keys
         mapped content that hashes to it.
+
+        A ``/update`` delta push overlays the dataset path with the
+        drifted graph's digest: while the overlaid entry is registered,
+        requests resolve to the in-memory drifted graph rather than the
+        (now stale) file bytes.  If the entry gets LRU-evicted the
+        overlay is dropped and the disk content becomes the truth again
+        — deltas are an in-memory view, not a persistence layer.
         """
+        with self._datasets_lock:
+            overlay = self._overlays.get(dataset)
+            if overlay is not None:
+                if overlay in self._datasets:
+                    self._datasets.move_to_end(overlay)
+                    return overlay
+                del self._overlays[dataset]  # drifted graph was evicted
         if self._sniff_binary(dataset):
             from repro.datasets.binary_io import binary_digest
 
@@ -540,6 +571,91 @@ class SparsifierService:
             "cells": objective_rows(results),
         })
 
+    # -- streaming deltas ----------------------------------------------------
+    def update(self, params: dict) -> dict:
+        """Apply an edge-delta batch to a registered dataset.
+
+        The drifted graph is registered under its *own* content digest
+        and overlays the dataset path, the superseded digest's cached
+        artifacts are invalidated (only those — other datasets stay
+        hot), and the dataset's memoised :class:`BackbonePlan` is
+        *repaired* rather than rebuilt, so the next sparsify request
+        re-peels only the dirty forest ranks.  With ``resparsify``
+        params the refreshed artifact is recomputed eagerly at
+        background priority (behind all interactive traffic).
+        """
+        params = dict(params)
+        dataset = params.pop("dataset", None)
+        if not dataset or not isinstance(dataset, str):
+            raise ServerError("update needs a 'dataset' path")
+        updates = params.pop("updates", [])
+        inserts = params.pop("inserts", [])
+        deletes = params.pop("deletes", [])
+        resparsify = params.pop("resparsify", None)
+        if params:
+            raise ServerError(
+                f"unknown parameters for update: {sorted(params)}"
+            )
+        if resparsify is not None and not isinstance(resparsify, dict):
+            raise ServerError("'resparsify' must be a sparsify params object")
+        with self._update_lock:  # serialise delta pushes across datasets
+            old_digest = self._digest(dataset)
+            entry = self._dataset(dataset, old_digest)
+            if entry.get("binary"):
+                raise ServerError(
+                    "update applies to text datasets; binary datasets are "
+                    "immutable snapshots (re-export and rewrite instead)"
+                )
+            with entry["lock"]:
+                batch = EdgeDeltaBatch.from_pairs(
+                    entry["graph"], updates=updates, inserts=inserts,
+                    deletes=deletes,
+                )
+                applied = apply_delta(entry["graph"], batch, in_place=False)
+                new_digest = graph_digest(applied.graph)
+                plan = entry["plan"]
+                new_plan = plan.clone().repair(applied) \
+                    if plan is not None else None
+            new_entry = {
+                "graph": applied.graph, "plan": new_plan,
+                "lock": threading.Lock(),
+            }
+            with self._datasets_lock:
+                new_entry = self._datasets.setdefault(new_digest, new_entry)
+                self._datasets.move_to_end(new_digest)
+                self._overlays[dataset] = new_digest
+                while len(self._datasets) > self.config.dataset_capacity:
+                    self._datasets.popitem(last=False)
+            invalidated = self.cache.invalidate(old_digest)
+        refresh_queued = False
+        if resparsify is not None:
+            norm = self._normalise(
+                "sparsify", {**resparsify, "dataset": dataset}
+            )
+            norm.pop("priority")
+            key = canonical_body({"endpoint": "sparsify", **norm})
+            try:
+                self.queue.submit(
+                    "drift_refresh", {"key": key, "norm": norm},
+                    priority=REFRESH_PRIORITY,
+                )
+                refresh_queued = True
+            except AdmissionError:
+                pass  # best-effort warm-up; next request recomputes
+        return {
+            "endpoint": "update",
+            "dataset": dataset,
+            "old_digest": old_digest,
+            "digest": new_digest,
+            "updates": int(len(batch.update_eids)),
+            "inserts": int(len(batch.insert_ps)),
+            "deletes": int(len(batch.delete_eids)),
+            "structural": bool(batch.is_structural),
+            "invalidated": invalidated,
+            "plan_repaired": new_plan is not None,
+            "refresh_queued": refresh_queued,
+        }
+
     # -- recurring re-sparsification -----------------------------------------
     def schedule_resparsify(
         self, name: str, params: dict, interval: float,
@@ -560,7 +676,8 @@ class SparsifierService:
             fresh["priority"] = REFRESH_PRIORITY
             priority = fresh.pop("priority")
             key = canonical_body({"endpoint": "sparsify", **fresh})
-            self.cache.put(key, self._compute("sparsify", fresh, priority))
+            self.cache.put(key, self._compute("sparsify", fresh, priority),
+                           tag=fresh["digest"])
 
         task = self.scheduler.add(name, interval, refresh, delay=delay)
         return task.describe()

@@ -313,7 +313,9 @@ class TestBatchedPrimitives:
         eids = rng.choice(batched.m, size=batched.m // 2, replace=False)
         for state in (batched, scalar):
             state.select_edges(eids)
-        new_ps = rng.uniform(0.0, 1.0, size=len(eids))
+        # Strictly positive draws: apply_probabilities enforces the
+        # (0, 1] edge-probability domain.
+        new_ps = rng.uniform(0.01, 1.0, size=len(eids))
         batched.apply_probabilities(eids, new_ps)
         for eid, p in zip(eids, new_ps):
             scalar.set_probability(int(eid), float(p))
@@ -408,5 +410,5 @@ def test_property_mixed_scalar_and_batched_ops(seed):
                     size=int(rng.integers(1, min(8, len(selected)) + 1)),
                     replace=False,
                 )
-                state.apply_probabilities(take, rng.uniform(0, 1, len(take)))
+                state.apply_probabilities(take, rng.uniform(0.01, 1, len(take)))
     state.verify()

@@ -1,0 +1,177 @@
+"""``POST /update``: delta pushes against registered datasets.
+
+The contracts under test:
+
+- an update re-registers the drifted graph under its own content digest
+  and overlays the dataset path, so the next request sees the new graph;
+- only the superseded digest's cached artifacts are invalidated — other
+  datasets stay hot — and the invalidation is visible in ``/metrics``;
+- the refreshed artifact equals a direct library call on the drifted
+  graph (the overlay is transparent);
+- ``resparsify`` queues a background refresh that warms the cache;
+- malformed requests fail loudly (unknown params, binary datasets,
+  missing edges/vertices).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core import sparsify
+from repro.core.delta import EdgeDeltaBatch, apply_delta
+from repro.datasets import read_edge_list, twitter_like, write_edge_list
+from repro.exceptions import ServerError
+from repro.server import ServerConfig, SparsifierService, start_server
+
+SPARSIFY = dict(alpha=0.4, variant="GDB^A", seed=0)
+
+
+@pytest.fixture(scope="module")
+def dataset(tmp_path_factory):
+    path = tmp_path_factory.mktemp("update") / "graph.txt"
+    write_edge_list(twitter_like(n=60, avg_degree=10, seed=1), path)
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def other_dataset(tmp_path_factory):
+    path = tmp_path_factory.mktemp("update") / "other.txt"
+    write_edge_list(twitter_like(n=50, avg_degree=8, seed=2), path)
+    return str(path)
+
+
+@pytest.fixture()
+def service():
+    with SparsifierService(ServerConfig(workers=2)) as svc:
+        yield svc
+
+
+def _first_edge(dataset):
+    graph = read_edge_list(dataset)
+    u, v, p = next(iter(graph.edges()))
+    return graph, u, v, p
+
+
+class TestUpdateSemantics:
+    def test_update_overlays_and_reports(self, service, dataset):
+        graph, u, v, p = _first_edge(dataset)
+        new_p = 0.5 * p if p > 0.5 else min(1.0, p + 0.25)
+        out = service.update({
+            "dataset": dataset, "updates": [[u, v, new_p]],
+        })
+        assert out["updates"] == 1
+        assert out["inserts"] == out["deletes"] == 0
+        assert not out["structural"]
+        assert out["digest"] != out["old_digest"]
+        # Overlay digest resolution: the artifact now equals a direct
+        # library call on the drifted graph.
+        body, _ = service.handle("sparsify", {"dataset": dataset, **SPARSIFY})
+        batch = EdgeDeltaBatch.from_pairs(graph, updates=[(u, v, new_p)])
+        drifted = apply_delta(graph, batch, in_place=False).graph
+        direct = sparsify(drifted, SPARSIFY["alpha"], SPARSIFY["variant"],
+                          rng=SPARSIFY["seed"])
+        assert json.loads(body)["edges"] == direct.number_of_edges()
+
+    def test_invalidation_is_targeted(self, service, dataset, other_dataset):
+        service.handle("sparsify", {"dataset": dataset, **SPARSIFY})
+        service.handle("sparsify", {"dataset": other_dataset, **SPARSIFY})
+        graph, u, v, _ = _first_edge(dataset)
+        out = service.update({
+            "dataset": dataset, "updates": [[u, v, 0.123]],
+        })
+        assert out["invalidated"] >= 1
+        assert service.cache.stats()["invalidations"] >= 1
+        # The untouched dataset's artifact is still hot ...
+        _, hit = service.handle(
+            "sparsify", {"dataset": other_dataset, **SPARSIFY}
+        )
+        assert hit
+        # ... while the drifted one recomputes.
+        _, hit = service.handle("sparsify", {"dataset": dataset, **SPARSIFY})
+        assert not hit
+
+    def test_structural_update_repairs_plan(self, service, dataset):
+        service.handle("sparsify", {"dataset": dataset, **SPARSIFY})
+        graph, u, v, _ = _first_edge(dataset)
+        out = service.update({
+            "dataset": dataset, "deletes": [[u, v]],
+        })
+        assert out["structural"] and out["deletes"] == 1
+        assert out["plan_repaired"]
+        body, _ = service.handle("sparsify", {"dataset": dataset, **SPARSIFY})
+        assert json.loads(body)["edges"] > 0
+
+    def test_resparsify_warms_the_cache(self, service, dataset):
+        graph, u, v, _ = _first_edge(dataset)
+        out = service.update({
+            "dataset": dataset, "updates": [[u, v, 0.777]],
+            "resparsify": SPARSIFY,
+        })
+        assert out["refresh_queued"]
+        deadline = time.monotonic() + 30.0
+        hit = False
+        while time.monotonic() < deadline and not hit:
+            _, hit = service.handle(
+                "sparsify", {"dataset": dataset, **SPARSIFY}
+            )
+            if not hit:
+                time.sleep(0.05)
+        assert hit, "background drift_refresh never warmed the cache"
+
+    def test_unknown_parameters_rejected(self, service, dataset):
+        with pytest.raises(ServerError, match="unknown parameters"):
+            service.update({"dataset": dataset, "bogus": 1})
+        with pytest.raises(ServerError, match="'dataset'"):
+            service.update({"updates": [[0, 1, 0.5]]})
+        with pytest.raises(ServerError, match="resparsify"):
+            service.update({"dataset": dataset, "resparsify": "yes"})
+
+    def test_binary_datasets_are_immutable(self, service, dataset,
+                                           tmp_path_factory):
+        from repro.datasets import write_binary
+
+        path = tmp_path_factory.mktemp("update") / "graph.npz"
+        write_binary(read_edge_list(dataset), path)
+        with pytest.raises(ServerError, match="binary"):
+            service.update({
+                "dataset": str(path), "updates": [[0, 1, 0.5]],
+            })
+
+
+class TestUpdateHTTP:
+    def _post(self, port, path, document):
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}{path}",
+            data=json.dumps(document).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return json.loads(response.read())
+
+    def test_update_round_trip(self, dataset):
+        _, u, v, _ = _first_edge(dataset)
+        with start_server(ServerConfig(port=0, workers=2)) as server:
+            out = self._post(server.port, "/update", {
+                "dataset": dataset, "updates": [[u, v, 0.321]],
+            })
+            assert out["endpoint"] == "update"
+            assert out["updates"] == 1 and not out["structural"]
+            metrics = json.loads(
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{server.port}/metrics", timeout=30
+                ).read()
+            )
+            assert "invalidations" in metrics["cache"]
+
+    def test_update_error_is_client_error(self, dataset):
+        with start_server(ServerConfig(port=0, workers=2)) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                self._post(server.port, "/update", {
+                    "dataset": dataset, "updates": [["no-such", "vertex", 0.5]],
+                })
+            assert 400 <= excinfo.value.code < 500
